@@ -1,0 +1,130 @@
+//===- bench/BenchCommon.h - Shared harness plumbing ------------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the figure-reproduction harnesses: the common resource
+/// budget (the stand-in for the paper's 90-minute / 24 GB limit), analysis
+/// runners, and result formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BENCH_BENCHCOMMON_H
+#define BENCH_BENCHCOMMON_H
+
+#include "analysis/ContextPolicy.h"
+#include "analysis/PrecisionMetrics.h"
+#include "analysis/Solver.h"
+#include "introspect/Driver.h"
+#include "ir/Program.h"
+#include "support/TableWriter.h"
+#include "workload/DaCapo.h"
+
+#include <memory>
+#include <string>
+
+namespace intro::bench {
+
+/// The deep-analysis resource budget.  Exceeding it is reported as the
+/// paper's "did not terminate in 90 minutes".  Tuple-based, so the
+/// bimodality verdicts are machine-independent.
+inline SolveBudget deepBudget() {
+  SolveBudget Budget;
+  Budget.MaxTuples = 12'000'000;
+  Budget.MaxSeconds = 120.0;
+  return Budget;
+}
+
+/// Context-sensitivity flavors evaluated in Figures 5-7.
+enum class Flavor { Object, Type, CallSite };
+
+inline const char *flavorName(Flavor F) {
+  switch (F) {
+  case Flavor::Object:
+    return "2objH";
+  case Flavor::Type:
+    return "2typeH";
+  case Flavor::CallSite:
+    return "2callH";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<ContextPolicy> makeFlavor(Flavor F,
+                                                 const Program &Prog) {
+  switch (F) {
+  case Flavor::Object:
+    return makeObjectPolicy(Prog, 2, 1);
+  case Flavor::Type:
+    return makeTypePolicy(Prog, 2, 1);
+  case Flavor::CallSite:
+    return makeCallSitePolicy(2, 1);
+  }
+  return nullptr;
+}
+
+/// One analysis run's reportable outcome.
+struct RunOutcome {
+  std::string Analysis;
+  bool Completed = false;
+  double Seconds = 0;
+  PrecisionMetrics Precision;
+  uint64_t Tuples = 0;
+  RefinementStats Refinement; ///< Only for introspective runs.
+};
+
+/// Runs \p Policy on \p Prog under the deep budget.
+inline RunOutcome runPlain(const Program &Prog, const ContextPolicy &Policy) {
+  ContextTable Table;
+  SolverOptions Options;
+  Options.Budget = deepBudget();
+  PointsToResult Result = solvePointsTo(Prog, Policy, Table, Options);
+  RunOutcome Outcome;
+  Outcome.Analysis = Policy.name();
+  Outcome.Completed = isCompleted(Result.Status);
+  Outcome.Seconds = Result.Stats.Seconds;
+  Outcome.Tuples =
+      Result.Stats.VarPointsToTuples + Result.Stats.FieldPointsToTuples;
+  Outcome.Precision = computePrecision(Prog, Result);
+  return Outcome;
+}
+
+/// Runs the full two-pass introspective analysis with \p Heuristic.
+inline RunOutcome runIntro(const Program &Prog, Flavor F,
+                           HeuristicKind Heuristic) {
+  IntrospectiveOptions Options;
+  Options.Heuristic = Heuristic;
+  Options.SecondPassBudget = deepBudget();
+  auto Refined = makeFlavor(F, Prog);
+  IntrospectiveOutcome Out = runIntrospective(Prog, *Refined, Options);
+  RunOutcome Outcome;
+  Outcome.Analysis = Out.SecondPass.AnalysisName;
+  Outcome.Completed = isCompleted(Out.SecondPass.Status);
+  Outcome.Seconds = Out.SecondPassSeconds;
+  Outcome.Tuples = Out.SecondPass.Stats.VarPointsToTuples +
+                   Out.SecondPass.Stats.FieldPointsToTuples;
+  Outcome.Precision = computePrecision(Prog, Out.SecondPass);
+  Outcome.Refinement = Out.Stats;
+  return Outcome;
+}
+
+/// Formats a time cell: seconds, or the paper's "did not terminate".
+inline std::string timeCell(const RunOutcome &Outcome) {
+  if (!Outcome.Completed)
+    return "DNF";
+  return TableWriter::num(Outcome.Seconds, 2) + " s";
+}
+
+/// Formats a precision cell, blank for non-terminating runs (as in the
+/// paper's figures, where timed-out analyses have no precision bars).
+inline std::string precCell(const RunOutcome &Outcome, uint64_t Value) {
+  if (!Outcome.Completed)
+    return "-";
+  return TableWriter::num(Value);
+}
+
+} // namespace intro::bench
+
+#endif // BENCH_BENCHCOMMON_H

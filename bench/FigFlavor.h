@@ -1,0 +1,76 @@
+//===- bench/FigFlavor.h - Shared Figures 5/6/7 harness ---------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figures 5, 6, and 7 have identical structure — running time plus three
+/// precision metrics for { insens, <flavor>-IntroA, <flavor>-IntroB,
+/// <flavor> } over the six scalability subjects — differing only in the
+/// context-sensitivity flavor.  This header implements the harness once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BENCH_FIGFLAVOR_H
+#define BENCH_FIGFLAVOR_H
+
+#include "BenchCommon.h"
+
+#include <iostream>
+#include <vector>
+
+namespace intro::bench {
+
+/// Emits the paper-style rows for one figure.
+inline int runFlavorFigure(Flavor F, const char *FigureName,
+                           const char *ExpectedShape) {
+  std::cout << FigureName << ": performance and precision for introspective "
+            << flavorName(F) << " variants\n"
+            << "(DNF = resource budget exceeded; precision cells of DNF "
+               "runs are '-')\n\n";
+
+  TableWriter Times({"benchmark", "insens", std::string(flavorName(F)) +
+                                                "-IntroA",
+                     std::string(flavorName(F)) + "-IntroB", flavorName(F)});
+  TableWriter Poly({"benchmark", "insens", "IntroA", "IntroB", "full"});
+  TableWriter Reach({"benchmark", "insens", "IntroA", "IntroB", "full"});
+  TableWriter Casts({"benchmark", "insens", "IntroA", "IntroB", "full"});
+
+  for (const WorkloadProfile &Profile : scalabilitySubjects()) {
+    Program Prog = generateWorkload(Profile);
+    auto Insens = makeInsensitivePolicy();
+    RunOutcome Base = runPlain(Prog, *Insens);
+    RunOutcome IntroA = runIntro(Prog, F, HeuristicKind::A);
+    RunOutcome IntroB = runIntro(Prog, F, HeuristicKind::B);
+    auto Full = makeFlavor(F, Prog);
+    RunOutcome Deep = runPlain(Prog, *Full);
+
+    Times.addRow({Profile.Name, timeCell(Base), timeCell(IntroA),
+                  timeCell(IntroB), timeCell(Deep)});
+    auto AddPrecision = [&](TableWriter &Table, auto Member) {
+      Table.addRow({Profile.Name, precCell(Base, Base.Precision.*Member),
+                    precCell(IntroA, IntroA.Precision.*Member),
+                    precCell(IntroB, IntroB.Precision.*Member),
+                    precCell(Deep, Deep.Precision.*Member)});
+    };
+    AddPrecision(Poly, &PrecisionMetrics::PolymorphicVirtualCallSites);
+    AddPrecision(Reach, &PrecisionMetrics::ReachableMethods);
+    AddPrecision(Casts, &PrecisionMetrics::CastsThatMayFail);
+  }
+
+  std::cout << "Running time\n";
+  Times.print(std::cout);
+  std::cout << "\nPolymorphic virtual call sites (lower is more precise)\n";
+  Poly.print(std::cout);
+  std::cout << "\nReachable methods (lower is more precise)\n";
+  Reach.print(std::cout);
+  std::cout << "\nReachable casts that may fail (lower is more precise)\n";
+  Casts.print(std::cout);
+  std::cout << "\nExpected shape (paper): " << ExpectedShape << "\n";
+  return 0;
+}
+
+} // namespace intro::bench
+
+#endif // BENCH_FIGFLAVOR_H

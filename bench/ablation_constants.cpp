@@ -1,0 +1,80 @@
+//===- bench/ablation_constants.cpp - Heuristic-constant sweep ------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation for the Section 3 claim that "even relatively large variations
+/// of these numbers make scarcely any difference in the total picture":
+/// sweeps Heuristic A's (K, L, M) and Heuristic B's (P, Q) by factors of
+/// 1/2 and 2 around the paper defaults, on one well-behaved benchmark
+/// (bloat) and the pathological one (jython), under 2objH.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <iostream>
+
+using namespace intro;
+using namespace intro::bench;
+
+namespace {
+
+RunOutcome runWithParams(const Program &Prog, HeuristicKind Kind,
+                         double Scale) {
+  IntrospectiveOptions Options;
+  Options.Heuristic = Kind;
+  Options.ParamsA.K = static_cast<uint64_t>(100 * Scale);
+  Options.ParamsA.L = static_cast<uint64_t>(100 * Scale);
+  Options.ParamsA.M = static_cast<uint64_t>(200 * Scale);
+  Options.ParamsB.P = static_cast<uint64_t>(10000 * Scale);
+  Options.ParamsB.Q = static_cast<uint64_t>(10000 * Scale);
+  Options.SecondPassBudget = deepBudget();
+
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  IntrospectiveOutcome Out = runIntrospective(Prog, *Refined, Options);
+  RunOutcome Outcome;
+  Outcome.Completed = isCompleted(Out.SecondPass.Status);
+  Outcome.Seconds = Out.SecondPassSeconds;
+  Outcome.Tuples = Out.SecondPass.Stats.VarPointsToTuples +
+                   Out.SecondPass.Stats.FieldPointsToTuples;
+  Outcome.Precision = computePrecision(Prog, Out.SecondPass);
+  Outcome.Refinement = Out.Stats;
+  return Outcome;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "Ablation: heuristic-constant sensitivity (Section 3 claim\n"
+               "that the technique's value does not come from excessive\n"
+               "tuning), 2objH-based introspective analyses.\n\n";
+
+  for (const char *Name : {"bloat", "jython"}) {
+    Program Prog = generateWorkload(dacapoProfile(Name));
+    std::cout << "benchmark: " << Name << "\n";
+    TableWriter Table({"heuristic", "scale", "status", "tuples",
+                       "poly call sites", "casts may fail",
+                       "sites excl", "objs excl"});
+    for (HeuristicKind Kind : {HeuristicKind::A, HeuristicKind::B})
+      for (double Scale : {0.5, 1.0, 2.0}) {
+        RunOutcome Out = runWithParams(Prog, Kind, Scale);
+        Table.addRow(
+            {Kind == HeuristicKind::A ? "A (K,L,M)" : "B (P,Q)",
+             TableWriter::num(Scale, 1) + "x",
+             Out.Completed ? "completed" : "DNF", TableWriter::num(Out.Tuples),
+             precCell(Out, Out.Precision.PolymorphicVirtualCallSites),
+             precCell(Out, Out.Precision.CastsThatMayFail),
+             TableWriter::percent(Out.Refinement.callSitePercent()),
+             TableWriter::percent(Out.Refinement.objectPercent())});
+      }
+    Table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Expected shape: within each heuristic, halving/doubling the\n"
+               "constants barely moves the scalability verdict or the\n"
+               "precision metrics.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===- bench/ablation_importance.cpp - Future-work importance guard -------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates the paper's Section 3 future-work direction: guarding the
+/// cost heuristics with an *importance* estimate so that expensive-looking
+/// but precision-critical elements stay refined.  Heuristic A's biggest
+/// precision loss on these workloads comes from excluding the "popular
+/// container" accessors (their field sets trip the M threshold, yet
+/// refining them is cheap and client-visible).  The guard lifts exactly
+/// those exclusions.
+///
+/// Compared per benchmark: insens, plain 2objH-IntroA, guarded
+/// 2objH-IntroA, and full 2objH.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "introspect/Importance.h"
+
+#include <iostream>
+
+using namespace intro;
+using namespace intro::bench;
+
+namespace {
+
+RunOutcome runGuarded(const Program &Prog, bool WithGuard) {
+  auto Insens = makeInsensitivePolicy();
+  ContextTable First;
+  PointsToResult Pass1 = solvePointsTo(Prog, *Insens, First);
+  IntrospectionMetrics Metrics = computeIntrospectionMetrics(Prog, Pass1);
+  RefinementExceptions Exceptions = applyHeuristicA(Prog, Pass1, Metrics);
+
+  uint64_t Lifted = 0;
+  if (WithGuard) {
+    ImportanceMetrics Importance = computeImportance(Prog, Pass1);
+    Lifted = applyImportanceGuard(Prog, Importance, Exceptions);
+  }
+
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  auto Policy = makeIntrospectivePolicy(
+      WithGuard ? "2objH-IntroA+guard" : "2objH-IntroA", *Insens, *Refined,
+      Exceptions);
+  ContextTable Table;
+  SolverOptions Options;
+  Options.Budget = deepBudget();
+  PointsToResult Result = solvePointsTo(Prog, *Policy, Table, Options);
+
+  RunOutcome Outcome;
+  Outcome.Analysis = WithGuard ? "IntroA+guard" : "IntroA";
+  Outcome.Completed = isCompleted(Result.Status);
+  Outcome.Seconds = Result.Stats.Seconds;
+  Outcome.Tuples =
+      Result.Stats.VarPointsToTuples + Result.Stats.FieldPointsToTuples;
+  Outcome.Precision = computePrecision(Prog, Result);
+  Outcome.Refinement = computeRefinementStats(Prog, Pass1, Exceptions);
+  if (WithGuard)
+    std::cout << "  (guard lifted " << Lifted << " exclusions)\n";
+  return Outcome;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "Ablation: importance-guarded Heuristic A (the paper's\n"
+               "Section 3 future-work direction), 2objH-based.\n\n";
+
+  for (const WorkloadProfile &Profile : scalabilitySubjects()) {
+    Program Prog = generateWorkload(Profile);
+    std::cout << "benchmark: " << Profile.Name << "\n";
+
+    auto Insens = makeInsensitivePolicy();
+    RunOutcome Base = runPlain(Prog, *Insens);
+    RunOutcome Plain = runGuarded(Prog, /*WithGuard=*/false);
+    RunOutcome Guarded = runGuarded(Prog, /*WithGuard=*/true);
+    auto Full = makeFlavor(Flavor::Object, Prog);
+    RunOutcome Deep = runPlain(Prog, *Full);
+
+    TableWriter Table({"analysis", "status", "tuples", "poly sites",
+                       "casts may fail"});
+    for (const RunOutcome *Out : {&Base, &Plain, &Guarded, &Deep})
+      Table.addRow({Out->Analysis.empty() ? "insens" : Out->Analysis,
+                    Out->Completed ? "completed" : "DNF",
+                    TableWriter::num(Out->Tuples),
+                    precCell(*Out, Out->Precision.PolymorphicVirtualCallSites),
+                    precCell(*Out, Out->Precision.CastsThatMayFail)});
+    Table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout
+      << "Expected shape: the guard recovers most of plain IntroA's\n"
+         "precision loss (casts/poly move toward full 2objH) while the\n"
+         "scalability verdicts stay unchanged -- importance estimation\n"
+         "improves the cost/precision dial, as the paper conjectured.\n";
+  return 0;
+}

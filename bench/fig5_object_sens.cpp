@@ -1,0 +1,16 @@
+//===- bench/fig5_object_sens.cpp - Paper Figure 5 ------------------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigFlavor.h"
+
+int main() {
+  return intro::bench::runFlavorFigure(
+      intro::bench::Flavor::Object, "Figure 5",
+      "2objH blows up on hsqldb and jython (and is the slow outlier on\n"
+      "bloat); IntroA scales to all benchmarks with moderate precision\n"
+      "gains over insens; IntroB scales to all but jython while keeping\n"
+      "most of 2objH's precision.");
+}

@@ -1,0 +1,15 @@
+//===- bench/fig6_type_sens.cpp - Paper Figure 6 --------------------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigFlavor.h"
+
+int main() {
+  return intro::bench::runFlavorFigure(
+      intro::bench::Flavor::Type, "Figure 6",
+      "2typeH blows up on jython only; IntroB scales to all programs with\n"
+      "precision close to full 2typeH; IntroA has near-perfect\n"
+      "scalability with lower precision gains.");
+}

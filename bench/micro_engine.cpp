@@ -1,0 +1,108 @@
+//===- bench/micro_engine.cpp - Engine micro-benchmarks -------------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for the engine primitives: context-tuple
+/// interning, sorted-set insertion, whole-program solving on a fixed
+/// profile, the Datalog engine's transitive closure, and the introspection
+/// metric queries.  Not part of the paper; used to watch for regressions in
+/// the substrate the figures depend on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Context.h"
+#include "analysis/ContextPolicy.h"
+#include "analysis/Solver.h"
+#include "datalog/Engine.h"
+#include "introspect/Metrics.h"
+#include "support/Rng.h"
+#include "support/SetUtils.h"
+#include "workload/DaCapo.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace intro;
+
+static void BM_ContextInterning(benchmark::State &State) {
+  for (auto _ : State) {
+    ContextTable Table;
+    Rng R(7);
+    for (int Index = 0; Index < 10000; ++Index) {
+      std::array<uint32_t, 2> Elements = {R.below(512), R.below(512)};
+      benchmark::DoNotOptimize(Table.internCtx(Elements));
+    }
+  }
+}
+BENCHMARK(BM_ContextInterning);
+
+static void BM_SortedSetInsert(benchmark::State &State) {
+  Rng R(11);
+  for (auto _ : State) {
+    SortedIdSet Set;
+    for (int Index = 0; Index < 4096; ++Index)
+      setInsert(Set, R.below(8192));
+    benchmark::DoNotOptimize(Set.size());
+  }
+}
+BENCHMARK(BM_SortedSetInsert);
+
+static void BM_SolveInsensChart(benchmark::State &State) {
+  Program Prog = generateWorkload(dacapoProfile("chart"));
+  auto Policy = makeInsensitivePolicy();
+  for (auto _ : State) {
+    ContextTable Table;
+    PointsToResult Result = solvePointsTo(Prog, *Policy, Table);
+    benchmark::DoNotOptimize(Result.Stats.VarPointsToTuples);
+  }
+}
+BENCHMARK(BM_SolveInsensChart);
+
+static void BM_Solve2objHChart(benchmark::State &State) {
+  Program Prog = generateWorkload(dacapoProfile("chart"));
+  auto Policy = makeObjectPolicy(Prog, 2, 1);
+  for (auto _ : State) {
+    ContextTable Table;
+    PointsToResult Result = solvePointsTo(Prog, *Policy, Table);
+    benchmark::DoNotOptimize(Result.Stats.VarPointsToTuples);
+  }
+}
+BENCHMARK(BM_Solve2objHChart);
+
+static void BM_DatalogTransitiveClosure(benchmark::State &State) {
+  for (auto _ : State) {
+    datalog::Engine E;
+    uint32_t Edge = E.addRelation("edge", 2);
+    uint32_t Path = E.addRelation("path", 2);
+    using datalog::Atom;
+    using datalog::Rule;
+    using datalog::Term;
+    E.addRule(Rule{{Atom{Path, {Term::var(0), Term::var(1)}}},
+                   {Atom{Edge, {Term::var(0), Term::var(1)}}},
+                   {}});
+    E.addRule(Rule{{Atom{Path, {Term::var(0), Term::var(2)}}},
+                   {Atom{Path, {Term::var(0), Term::var(1)}},
+                    Atom{Edge, {Term::var(1), Term::var(2)}}},
+                   {}});
+    for (uint32_t Node = 0; Node < 128; ++Node)
+      E.relation(Edge).insert(std::array<uint32_t, 2>{Node, Node + 1});
+    benchmark::DoNotOptimize(E.run().TuplesDerived);
+  }
+}
+BENCHMARK(BM_DatalogTransitiveClosure);
+
+static void BM_IntrospectionMetrics(benchmark::State &State) {
+  Program Prog = generateWorkload(dacapoProfile("chart"));
+  auto Policy = makeInsensitivePolicy();
+  ContextTable Table;
+  PointsToResult Result = solvePointsTo(Prog, *Policy, Table);
+  for (auto _ : State) {
+    IntrospectionMetrics Metrics = computeIntrospectionMetrics(Prog, Result);
+    benchmark::DoNotOptimize(Metrics.InFlow.size());
+  }
+}
+BENCHMARK(BM_IntrospectionMetrics);
+
+BENCHMARK_MAIN();

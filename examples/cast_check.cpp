@@ -1,0 +1,122 @@
+//===- examples/cast_check.cpp - Cast-safety checking from textual IR -----===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A verification-style client: prove downcasts safe.  The program is given
+/// in the textual IR format (so this example also demonstrates the
+/// frontend), and every flavor of context-sensitivity is compared on it.
+/// The example encodes a registry/visitor pattern in which each flavor
+/// proves a *different* subset of the casts safe, illustrating what the
+/// abstractions do and do not distinguish.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ContextPolicy.h"
+#include "analysis/Solver.h"
+#include "frontend/Parser.h"
+#include "ir/Validator.h"
+
+#include <iostream>
+
+using namespace intro;
+
+namespace {
+
+// Two cells used through the same class but distinguishable by receiver
+// object (2objH), by call site (2callH), and -- because one cell is used
+// from a method of another class -- partially by type (2typeH).
+const char *Source = R"(
+class Object
+class Cell extends Object {
+  field v
+  method set(p) { this.Cell#v = p }
+  method get() -> r { r = this.Cell#v }
+}
+class A extends Object
+class B extends Object
+
+class Other extends Object {
+  method use() -> r {
+    c = new Cell
+    a = new A
+    c.set(a)
+    o = c.get()
+    r = (A) o        // cast #1: in class Other
+  }
+}
+
+class Main extends Object {
+  entry static method main() {
+    c1 = new Cell
+    c2 = new Cell
+    a = new A
+    b = new B
+    c1.set(a)
+    c2.set(b)
+    oa = c1.get()
+    ob = c2.get()
+    ca = (A) oa      // cast #2: in class Main
+    cb = (B) ob      // cast #3: in class Main
+    helper = new Other
+    x = helper.use()
+  }
+}
+)";
+
+uint64_t countUnsafeCasts(const Program &Prog, const PointsToResult &Result) {
+  uint64_t Unsafe = 0;
+  for (uint32_t MethodIndex = 0; MethodIndex < Prog.numMethods();
+       ++MethodIndex) {
+    if (!Result.isReachable(MethodId(MethodIndex)))
+      continue;
+    for (const Instruction &Instr : Prog.method(MethodId(MethodIndex)).Body) {
+      if (Instr.Kind != InstrKind::Cast)
+        continue;
+      for (uint32_t HeapRaw : Result.pointsTo(Instr.From))
+        if (!Prog.isSubtypeOf(Prog.heap(HeapId(HeapRaw)).Type,
+                              Instr.CastType)) {
+          ++Unsafe;
+          break;
+        }
+    }
+  }
+  return Unsafe;
+}
+
+} // namespace
+
+int main() {
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.ok()) {
+    std::cerr << "parse error: " << Parsed.Errors[0] << "\n";
+    return 1;
+  }
+  auto Errors = validateProgram(Parsed.Prog);
+  if (!Errors.empty()) {
+    std::cerr << "invalid program: " << Errors[0] << "\n";
+    return 1;
+  }
+  const Program &Prog = Parsed.Prog;
+
+  std::cout << "cast-safety client: 3 downcasts through a shared Cell "
+               "class\n\n";
+  std::vector<std::unique_ptr<ContextPolicy>> Policies;
+  Policies.push_back(makeInsensitivePolicy());
+  Policies.push_back(makeTypePolicy(Prog, 2, 1));
+  Policies.push_back(makeCallSitePolicy(2, 1));
+  Policies.push_back(makeObjectPolicy(Prog, 2, 1));
+  for (const auto &Policy : Policies) {
+    ContextTable Table;
+    PointsToResult Result = solvePointsTo(Prog, *Policy, Table);
+    uint64_t Unsafe = countUnsafeCasts(Prog, Result);
+    std::cout << "  " << Policy->name() << ": " << (3 - Unsafe)
+              << "/3 casts proved safe\n";
+  }
+  std::cout << "\ninsens conflates all three cells; 2typeH separates the\n"
+               "Other-class cell from Main's but not Main's two cells from\n"
+               "each other; 2objH and 2callH prove all three casts safe.\n";
+  return 0;
+}

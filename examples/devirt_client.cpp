@@ -1,0 +1,85 @@
+//===- examples/devirt_client.cpp - Devirtualization via introspection ----===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compiler-style client: find virtual call sites that can be replaced by
+/// direct calls (exactly one possible target).  Runs on the synthetic
+/// "xalan" benchmark, where a plain 2objH analysis blows past the resource
+/// budget on larger configurations, while the introspective variant stays
+/// cheap and still devirtualizes far more sites than the insensitive
+/// analysis -- the paper's value proposition, experienced from a client.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ContextPolicy.h"
+#include "analysis/Solver.h"
+#include "introspect/Driver.h"
+#include "workload/DaCapo.h"
+
+#include <iostream>
+
+using namespace intro;
+
+namespace {
+
+struct DevirtReport {
+  uint64_t Monomorphic = 0; ///< Sites with exactly one target.
+  uint64_t Polymorphic = 0; ///< Sites with two or more targets.
+};
+
+DevirtReport report(const Program &Prog, const PointsToResult &Result) {
+  DevirtReport Report;
+  for (uint32_t SiteIndex = 0; SiteIndex < Prog.numSites(); ++SiteIndex) {
+    SiteId Site(SiteIndex);
+    const SiteInfo &Info = Prog.site(Site);
+    if (Info.IsStatic || !Result.isReachable(Info.InMethod))
+      continue;
+    size_t Targets = Result.callTargets(Site).size();
+    if (Targets == 1)
+      ++Report.Monomorphic;
+    else if (Targets >= 2)
+      ++Report.Polymorphic;
+  }
+  return Report;
+}
+
+} // namespace
+
+int main() {
+  Program Prog = generateWorkload(dacapoProfile("xalan"));
+  std::cout << "devirtualization client on the synthetic 'xalan' benchmark ("
+            << Prog.numMethods() << " methods, " << Prog.numSites()
+            << " call sites)\n\n";
+
+  // Baseline: context-insensitive.
+  auto Insens = makeInsensitivePolicy();
+  ContextTable Table;
+  PointsToResult Base = solvePointsTo(Prog, *Insens, Table);
+  DevirtReport BaseReport = report(Prog, Base);
+  std::cout << "insens:        " << BaseReport.Monomorphic
+            << " devirtualizable, " << BaseReport.Polymorphic
+            << " polymorphic\n";
+
+  // The production path: introspective 2objH with Heuristic B.
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  IntrospectiveOptions Options;
+  Options.Heuristic = HeuristicKind::B;
+  IntrospectiveOutcome Out = runIntrospective(Prog, *Refined, Options);
+  DevirtReport IntroReport = report(Prog, Out.SecondPass);
+  std::cout << "2objH-IntroB:  " << IntroReport.Monomorphic
+            << " devirtualizable, " << IntroReport.Polymorphic
+            << " polymorphic  ("
+            << (isCompleted(Out.SecondPass.Status) ? "completed"
+                                                   : "budget exceeded")
+            << " in " << Out.SecondPassSeconds << "s; "
+            << Out.Stats.ExcludedCallSites
+            << " call sites analyzed context-insensitively)\n";
+
+  uint64_t Gained = IntroReport.Monomorphic - BaseReport.Monomorphic;
+  std::cout << "\nthe introspective analysis devirtualizes " << Gained
+            << " more sites than the insensitive baseline\n";
+  return 0;
+}

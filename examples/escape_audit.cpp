@@ -1,0 +1,61 @@
+//===- examples/escape_audit.cpp - Escape analysis + diagnostics ----------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two clients on one run: (a) escape analysis — how many allocation sites
+/// are provably confined to their allocating method (stack-allocation
+/// candidates) under increasingly precise analyses; (b) the context-growth
+/// diagnostics one uses to understand *why* a deep analysis is expensive.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ContextPolicy.h"
+#include "analysis/Escape.h"
+#include "analysis/Solver.h"
+#include "analysis/Statistics.h"
+#include "workload/DaCapo.h"
+
+#include <iostream>
+
+using namespace intro;
+
+int main() {
+  Program Prog = generateWorkload(dacapoProfile("eclipse"));
+  std::cout << "escape audit on the synthetic 'eclipse' benchmark ("
+            << Prog.numHeaps() << " allocation sites)\n\n";
+
+  for (int UseDeep : {0, 1}) {
+    auto Policy = UseDeep ? makeObjectPolicy(Prog, 2, 1)
+                          : makeInsensitivePolicy();
+    ContextTable Table;
+    SolverOptions Options;
+    Options.KeepTuples = UseDeep != 0; // For the diagnostics below.
+    PointsToResult Result = solvePointsTo(Prog, *Policy, Table, Options);
+    EscapeResult Escape = computeEscape(Prog, Result);
+
+    double Share = 100.0 * static_cast<double>(Escape.captured()) /
+                   static_cast<double>(Escape.ReachableSites);
+    std::cout << Policy->name() << ": " << Escape.captured() << " of "
+              << Escape.ReachableSites
+              << " reachable allocation sites do not escape their method ("
+              << Share << " %)\n";
+
+    if (UseDeep) {
+      std::cout << "\ncontext-growth diagnostics (2objH):\n";
+      ContextStatistics Stats =
+          computeContextStatistics(Prog, Result, /*TopN=*/5);
+      printContextStatistics(Prog, Stats, std::cout);
+    }
+  }
+  std::cout << "\nNote how the deep analysis shrinks the *reachable* site\n"
+               "population (the decoy allocations disappear with the\n"
+               "spurious call-graph edges), and how the diagnostics point\n"
+               "straight at the planted pathology: the popular container's\n"
+               "methods hoard contexts, the hub-draining client methods\n"
+               "hoard tuples -- exactly the elements the introspection\n"
+               "heuristics exclude.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ----------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The quickstart from the README: build a tiny program with the
+/// ProgramBuilder API, run a context-insensitive and a 2-object-sensitive
+/// analysis on it, and observe the precision difference on the classic
+/// "two boxes" container pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ContextPolicy.h"
+#include "analysis/PrecisionMetrics.h"
+#include "analysis/Solver.h"
+#include "ir/ProgramBuilder.h"
+
+#include <iostream>
+
+using namespace intro;
+
+int main() {
+  // --- 1. Build a program -------------------------------------------------
+  //
+  //   Box b1 = new Box();        Box b2 = new Box();
+  //   b1.set(new A());           b2.set(new B());
+  //   Object oa = b1.get();      // really an A
+  //   A ca = (A) oa;             // does this cast ever fail?
+  ProgramBuilder B;
+  TypeId Object = B.cls("Object");
+  TypeId Box = B.cls("Box", Object);
+  TypeId A = B.cls("A", Object);
+  TypeId BT = B.cls("B", Object);
+  FieldId F = B.field(Box, "f");
+
+  MethodBuilder Set = B.method(Box, "set", 1);
+  Set.store(Set.thisVar(), F, Set.formal(0));
+  MethodBuilder Get = B.method(Box, "get", 0);
+  Get.load(Get.returnVar(), Get.thisVar(), F);
+
+  MethodBuilder Main = B.method(Object, "main", 0, /*IsStatic=*/true);
+  B.entry(Main.id());
+  VarId B1 = Main.local("b1");
+  VarId B2 = Main.local("b2");
+  VarId VA = Main.local("a");
+  VarId VB = Main.local("b");
+  VarId Oa = Main.local("oa");
+  VarId Ca = Main.local("ca");
+  Main.alloc(B1, Box);
+  Main.alloc(B2, Box);
+  HeapId HeapA = Main.alloc(VA, A);
+  HeapId HeapB = Main.alloc(VB, BT);
+  Main.vcall(VarId::invalid(), B1, "set", {VA});
+  Main.vcall(VarId::invalid(), B2, "set", {VB});
+  Main.vcall(Oa, B1, "get", {});
+  Main.cast(Ca, Oa, A);
+
+  Program Prog = B.take();
+
+  // --- 2. Analyze it, twice ------------------------------------------------
+  auto ShowRun = [&](const ContextPolicy &Policy) {
+    ContextTable Contexts;
+    PointsToResult Result = solvePointsTo(Prog, Policy, Contexts);
+    PrecisionMetrics Precision = computePrecision(Prog, Result);
+
+    std::cout << "analysis " << Policy.name() << ":\n  oa may point to {";
+    bool FirstHeap = true;
+    for (uint32_t HeapRaw : Result.pointsTo(Oa)) {
+      std::cout << (FirstHeap ? " " : ", ")
+                << Prog.typeName(Prog.heap(HeapId(HeapRaw)).Type);
+      FirstHeap = false;
+    }
+    std::cout << " }\n  casts that may fail: "
+              << Precision.CastsThatMayFail << "\n  VarPointsTo tuples: "
+              << Result.Stats.VarPointsToTuples << "\n\n";
+  };
+
+  auto Insens = makeInsensitivePolicy();
+  ShowRun(*Insens);
+  // Context-insensitively, both boxes share one abstract field, so `oa`
+  // appears to hold A *and* B -- the cast "may fail".
+
+  auto Deep = makeObjectPolicy(Prog, /*Depth=*/2, /*HeapDepth=*/1);
+  ShowRun(*Deep);
+  // 2objH analyzes set/get once per receiver box, so `oa` holds exactly
+  // the A object and the cast is proved safe.
+
+  (void)HeapA;
+  (void)HeapB;
+  return 0;
+}

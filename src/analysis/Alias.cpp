@@ -1,0 +1,57 @@
+//===- analysis/Alias.cpp - May-alias queries -----------------------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Alias.h"
+
+#include "analysis/Result.h"
+#include "ir/Program.h"
+
+#include <algorithm>
+
+using namespace intro;
+
+namespace {
+
+/// \returns true if the two sorted sets intersect.
+bool intersects(const SortedIdSet &A, const SortedIdSet &B) {
+  auto ItA = A.begin();
+  auto ItB = B.begin();
+  while (ItA != A.end() && ItB != B.end()) {
+    if (*ItA == *ItB)
+      return true;
+    if (*ItA < *ItB)
+      ++ItA;
+    else
+      ++ItB;
+  }
+  return false;
+}
+
+} // namespace
+
+bool intro::mayAlias(const PointsToResult &Result, VarId A, VarId B) {
+  return intersects(Result.pointsTo(A), Result.pointsTo(B));
+}
+
+uint64_t intro::countIntraMethodAliasPairs(const Program &Prog,
+                                           const PointsToResult &Result) {
+  uint64_t Pairs = 0;
+  for (uint32_t MethodIndex = 0; MethodIndex < Prog.numMethods();
+       ++MethodIndex) {
+    MethodId Method(MethodIndex);
+    if (!Result.isReachable(Method))
+      continue;
+    const auto &Locals = Prog.method(Method).Locals;
+    for (size_t I = 0; I < Locals.size(); ++I) {
+      if (Result.pointsTo(Locals[I]).empty())
+        continue;
+      for (size_t J = I + 1; J < Locals.size(); ++J)
+        if (mayAlias(Result, Locals[I], Locals[J]))
+          ++Pairs;
+    }
+  }
+  return Pairs;
+}

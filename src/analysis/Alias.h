@@ -1,0 +1,40 @@
+//===- analysis/Alias.h - May-alias queries ---------------------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The textbook client of points-to analysis: may-alias queries.  Two
+/// variables may alias iff their (projected) points-to sets intersect.
+/// Also provides an aggregate alias-pair count per method, which works as
+/// a fourth precision probe alongside the paper's three metrics: more
+/// context means fewer spurious alias pairs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_ALIAS_H
+#define ANALYSIS_ALIAS_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+
+namespace intro {
+
+class PointsToResult;
+class Program;
+
+/// \returns true if \p A and \p B may point to a common object under
+/// \p Result (contexts collapsed).  Variables with empty points-to sets
+/// never alias anything.
+bool mayAlias(const PointsToResult &Result, VarId A, VarId B);
+
+/// Counts, over all reachable methods, the unordered pairs of distinct
+/// locals that may alias.  Lower is more precise.
+uint64_t countIntraMethodAliasPairs(const Program &Prog,
+                                    const PointsToResult &Result);
+
+} // namespace intro
+
+#endif // ANALYSIS_ALIAS_H

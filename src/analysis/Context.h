@@ -1,0 +1,78 @@
+//===- analysis/Context.h - Interned analysis contexts ----------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Calling contexts (the paper's set C) and heap contexts (set HC) are
+/// tuples of program-element indices: call sites for call-site-sensitivity,
+/// allocation sites for object-sensitivity, class types for
+/// type-sensitivity.  The empty tuple is the "insensitive" context `*`.
+///
+/// ContextTable interns both kinds into dense CtxId / HCtxId handles that
+/// the solver, the Datalog reference implementation, and the result queries
+/// all share.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_CONTEXT_H
+#define ANALYSIS_CONTEXT_H
+
+#include "support/Ids.h"
+#include "support/TupleInterner.h"
+
+#include <span>
+
+namespace intro {
+
+/// Interns calling contexts and heap contexts.
+///
+/// Handle 0 of each kind is always the empty tuple, interned eagerly so that
+/// `CtxId(0)` / `HCtxId(0)` denote the context-insensitive `*` everywhere.
+class ContextTable {
+public:
+  ContextTable() {
+    [[maybe_unused]] uint32_t EmptyCtx = Ctxs.intern({});
+    [[maybe_unused]] uint32_t EmptyHCtx = HCtxs.intern({});
+    assert(EmptyCtx == 0 && EmptyHCtx == 0 && "empty context must be 0");
+  }
+
+  /// The empty calling context `*`.
+  CtxId emptyCtx() const { return CtxId(0); }
+  /// The empty heap context `*`.
+  HCtxId emptyHCtx() const { return HCtxId(0); }
+
+  /// Interns the calling context with the given \p Elements.
+  CtxId internCtx(std::span<const uint32_t> Elements) {
+    return CtxId(Ctxs.intern(Elements));
+  }
+
+  /// Interns the heap context with the given \p Elements.
+  HCtxId internHCtx(std::span<const uint32_t> Elements) {
+    return HCtxId(HCtxs.intern(Elements));
+  }
+
+  /// \returns the elements of calling context \p Ctx.
+  std::span<const uint32_t> elements(CtxId Ctx) const {
+    return Ctxs.elements(Ctx.index());
+  }
+
+  /// \returns the elements of heap context \p HCtx.
+  std::span<const uint32_t> elements(HCtxId HCtx) const {
+    return HCtxs.elements(HCtx.index());
+  }
+
+  /// Number of distinct calling contexts created so far.
+  size_t numContexts() const { return Ctxs.size(); }
+  /// Number of distinct heap contexts created so far.
+  size_t numHeapContexts() const { return HCtxs.size(); }
+
+private:
+  TupleInterner Ctxs;
+  TupleInterner HCtxs;
+};
+
+} // namespace intro
+
+#endif // ANALYSIS_CONTEXT_H

@@ -1,0 +1,52 @@
+//===- analysis/Escape.h - Escape analysis client ---------------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic client built on the points-to substrate: method-escape
+/// analysis.  An object (allocation site) *escapes* its allocating method
+/// if it can be observed outside an activation of that method — it is
+/// stored into an object field or a static field, thrown, or flows into a
+/// variable of a different method (argument passing, return, catch).
+/// Non-escaping objects are candidates for stack allocation or scalar
+/// replacement.
+///
+/// Precision of the underlying points-to analysis translates directly into
+/// more non-escaping objects, which makes this a good end-to-end precision
+/// probe alongside the paper's three metrics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_ESCAPE_H
+#define ANALYSIS_ESCAPE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace intro {
+
+class PointsToResult;
+class Program;
+
+/// Per-allocation-site escape classification.
+struct EscapeResult {
+  /// Indexed by raw HeapId: true if the object may escape its allocating
+  /// method.  Objects of unreachable methods are vacuously non-escaping.
+  std::vector<bool> Escapes;
+  /// Allocation sites in reachable methods.
+  uint64_t ReachableSites = 0;
+  /// ... of which may escape.
+  uint64_t EscapingSites = 0;
+
+  bool escapes(uint32_t HeapRaw) const { return Escapes[HeapRaw]; }
+  uint64_t captured() const { return ReachableSites - EscapingSites; }
+};
+
+/// Classifies every allocation site of \p Prog using \p Result.
+EscapeResult computeEscape(const Program &Prog, const PointsToResult &Result);
+
+} // namespace intro
+
+#endif // ANALYSIS_ESCAPE_H

@@ -1,0 +1,57 @@
+//===- analysis/PrecisionMetrics.cpp - Paper precision clients ------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PrecisionMetrics.h"
+
+#include "analysis/Result.h"
+#include "ir/Program.h"
+
+using namespace intro;
+
+PrecisionMetrics intro::computePrecision(const Program &Prog,
+                                         const PointsToResult &Result) {
+  PrecisionMetrics Metrics;
+
+  for (uint32_t MethodIndex = 0; MethodIndex < Prog.numMethods();
+       ++MethodIndex) {
+    MethodId Method(MethodIndex);
+    if (!Result.isReachable(Method))
+      continue;
+    ++Metrics.ReachableMethods;
+
+    for (const Instruction &Instr : Prog.method(Method).Body) {
+      if (Instr.Kind != InstrKind::Cast)
+        continue;
+      ++Metrics.ReachableCasts;
+      // A cast may fail if the source can hold an object whose dynamic type
+      // is not a subtype of the cast's target type.
+      for (uint32_t HeapRaw : Result.pointsTo(Instr.From)) {
+        if (!Prog.isSubtypeOf(Prog.heap(HeapId(HeapRaw)).Type,
+                              Instr.CastType)) {
+          ++Metrics.CastsThatMayFail;
+          break;
+        }
+      }
+    }
+  }
+
+  for (uint32_t SiteIndex = 0; SiteIndex < Prog.numSites(); ++SiteIndex) {
+    SiteId Site(SiteIndex);
+    const SiteInfo &Info = Prog.site(Site);
+    if (Info.IsStatic || !Result.isReachable(Info.InMethod))
+      continue;
+    // A virtual site is counted as reachable once the analysis resolved at
+    // least one target for it (a receiver object reached the site).
+    size_t NumTargets = Result.callTargets(Site).size();
+    if (NumTargets == 0)
+      continue;
+    ++Metrics.ReachableVirtualCallSites;
+    if (NumTargets >= 2)
+      ++Metrics.PolymorphicVirtualCallSites;
+  }
+
+  return Metrics;
+}

@@ -1,0 +1,47 @@
+//===- analysis/PrecisionMetrics.h - Paper precision clients ----*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three precision metrics reported in the paper's Figures 5-7 (lower
+/// is better for all three):
+///   - virtual call sites that cannot be devirtualized (polymorphic sites),
+///   - reachable methods,
+///   - reachable cast instructions that may fail.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_PRECISIONMETRICS_H
+#define ANALYSIS_PRECISIONMETRICS_H
+
+#include <cstdint>
+
+namespace intro {
+
+class PointsToResult;
+class Program;
+
+/// The paper's three precision metrics for one analysis run.
+struct PrecisionMetrics {
+  /// Reachable virtual call sites with two or more resolved targets.
+  uint64_t PolymorphicVirtualCallSites = 0;
+  /// Methods reachable in at least one context.
+  uint64_t ReachableMethods = 0;
+  /// Cast instructions, in reachable methods, whose source may point to an
+  /// object that is not a subtype of the cast's target type.
+  uint64_t CastsThatMayFail = 0;
+  /// Total reachable virtual call sites (denominator for context).
+  uint64_t ReachableVirtualCallSites = 0;
+  /// Total reachable cast instructions (denominator for context).
+  uint64_t ReachableCasts = 0;
+};
+
+/// Computes the precision metrics of \p Result for \p Prog.
+PrecisionMetrics computePrecision(const Program &Prog,
+                                  const PointsToResult &Result);
+
+} // namespace intro
+
+#endif // ANALYSIS_PRECISIONMETRICS_H

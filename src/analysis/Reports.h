@@ -1,0 +1,36 @@
+//===- analysis/Reports.h - Human-readable result exports -------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders analysis results for human and downstream-tool consumption: the
+/// (context-insensitively projected) call graph as Graphviz DOT, and a
+/// per-variable points-to listing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_REPORTS_H
+#define ANALYSIS_REPORTS_H
+
+#include <ostream>
+
+namespace intro {
+
+class PointsToResult;
+class Program;
+
+/// Writes the resolved call graph (one node per reachable method, one edge
+/// per (call site, target) pair, contexts collapsed) as Graphviz DOT.
+void writeCallGraphDot(const Program &Prog, const PointsToResult &Result,
+                       std::ostream &Out);
+
+/// Writes a `var -> {allocation sites}` listing for every variable of every
+/// reachable method with a non-empty points-to set.
+void writePointsToReport(const Program &Prog, const PointsToResult &Result,
+                         std::ostream &Out);
+
+} // namespace intro
+
+#endif // ANALYSIS_REPORTS_H

@@ -1,0 +1,139 @@
+//===- analysis/Result.h - Points-to analysis results -----------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The output of one solver run: status (completed or budget-exhausted, the
+/// moral equivalent of the paper's 90-minute timeout), size statistics, the
+/// context-insensitive projections every client consumes, and — optionally —
+/// the full context-sensitive tuple dump used by the Datalog oracle tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_RESULT_H
+#define ANALYSIS_RESULT_H
+
+#include "support/Ids.h"
+#include "support/SetUtils.h"
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace intro {
+
+/// Why the solver stopped.
+enum class SolveStatus : uint8_t {
+  Completed,           ///< Fixpoint reached.
+  TupleBudgetExceeded, ///< Relation sizes blew past the budget ("timeout").
+  TimeBudgetExceeded,  ///< Wall clock blew past the budget ("timeout").
+};
+
+/// \returns true if \p Status denotes a completed (non-timeout) run.
+inline bool isCompleted(SolveStatus Status) {
+  return Status == SolveStatus::Completed;
+}
+
+/// Resource budget for a solver run.  Exceeding either limit aborts the run
+/// with a timeout status; the paper's blow-ups are detected primarily via
+/// the (machine-independent) tuple limit.
+struct SolveBudget {
+  uint64_t MaxTuples = 100'000'000; ///< VarPointsTo + FldPointsTo tuples.
+  double MaxSeconds = 300.0;        ///< Wall-clock limit.
+};
+
+/// Size/performance counters of a solver run.
+struct SolverStats {
+  double Seconds = 0.0;
+  uint64_t VarPointsToTuples = 0;   ///< Context-sensitive |VARPOINTSTO|.
+  uint64_t FieldPointsToTuples = 0; ///< Context-sensitive |FLDPOINTSTO|.
+  uint64_t ThrowPointsToTuples = 0; ///< Context-sensitive |THROWPOINTSTO|.
+  uint64_t StaticFieldTuples = 0;   ///< |SFLDPOINTSTO|.
+  uint64_t NumVarNodes = 0;         ///< Distinct (var, ctx) pairs.
+  uint64_t NumFieldNodes = 0;       ///< Distinct (object, field) pairs.
+  uint64_t NumObjects = 0;          ///< Distinct (heap, hctx) pairs.
+  uint64_t NumContexts = 0;         ///< |C| materialized.
+  uint64_t NumHeapContexts = 0;     ///< |HC| materialized.
+  uint64_t ReachableMethodContexts = 0; ///< |REACHABLE| (meth, ctx) pairs.
+  uint64_t CallGraphEdges = 0;      ///< Insensitive (site, target) edges.
+  uint64_t WorklistPops = 0;        ///< Solver iterations.
+};
+
+/// The result of a points-to analysis run.
+class PointsToResult {
+public:
+  SolveStatus Status = SolveStatus::Completed;
+  SolverStats Stats;
+  std::string AnalysisName;
+
+  /// Per-variable points-to set, projected to allocation sites (contexts
+  /// collapsed).  Indexed by VarId; values are raw HeapIds.
+  std::vector<SortedIdSet> VarHeaps;
+
+  /// Per-(base heap, field) points-to set, contexts collapsed.  Key is
+  /// (baseHeap << 32 | field); values are raw HeapIds.
+  std::unordered_map<uint64_t, SortedIdSet> FieldHeaps;
+
+  /// Reachability per method (in any context).
+  std::vector<bool> MethodReachable;
+
+  /// Per-static-field points-to set, contexts collapsed.  Key is the raw
+  /// FieldId; values are raw HeapIds.
+  std::unordered_map<uint32_t, SortedIdSet> StaticFieldHeaps;
+
+  /// Per-method escaping-exception set, contexts collapsed.  Indexed by
+  /// MethodId; values are raw HeapIds.
+  std::vector<SortedIdSet> MethodThrows;
+
+  /// Per-call-site resolved targets (contexts collapsed).  Indexed by
+  /// SiteId; values are raw MethodIds.  Static sites have exactly their
+  /// fixed target once their caller is reachable.
+  std::vector<SortedIdSet> SiteTargets;
+
+  /// Full tuple dumps; populated only when SolverOptions::KeepTuples.
+  /// VARPOINTSTO(var, ctx, heap, hctx)
+  std::vector<std::array<uint32_t, 4>> VarPointsTo;
+  /// FLDPOINTSTO(baseHeap, baseHCtx, fld, heap, hctx)
+  std::vector<std::array<uint32_t, 5>> FieldPointsTo;
+  /// REACHABLE(meth, ctx)
+  std::vector<std::array<uint32_t, 2>> Reachable;
+  /// CALLGRAPH(invo, callerCtx, meth, calleeCtx)
+  std::vector<std::array<uint32_t, 4>> CallGraph;
+  /// THROWPOINTSTO(meth, ctx, heap, hctx)
+  std::vector<std::array<uint32_t, 4>> ThrowPointsTo;
+  /// SFLDPOINTSTO(fld, heap, hctx)
+  std::vector<std::array<uint32_t, 3>> StaticFieldPointsTo;
+
+  /// \returns true if \p Method is reachable in any context.
+  bool isReachable(MethodId Method) const {
+    return Method.index() < MethodReachable.size() &&
+           MethodReachable[Method.index()];
+  }
+
+  /// \returns the heaps that \p Var may point to (contexts collapsed).
+  const SortedIdSet &pointsTo(VarId Var) const {
+    return VarHeaps[Var.index()];
+  }
+
+  /// \returns the methods that the call at \p Site may invoke.
+  const SortedIdSet &callTargets(SiteId Site) const {
+    return SiteTargets[Site.index()];
+  }
+
+  /// \returns the exception objects escaping \p Method (ctxs collapsed).
+  const SortedIdSet &throwsOf(MethodId Method) const {
+    return MethodThrows[Method.index()];
+  }
+
+  /// Packs a FieldHeaps key.
+  static uint64_t fieldKey(HeapId BaseHeap, FieldId Field) {
+    return (static_cast<uint64_t>(BaseHeap.index()) << 32) | Field.index();
+  }
+};
+
+} // namespace intro
+
+#endif // ANALYSIS_RESULT_H

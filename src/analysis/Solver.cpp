@@ -1,0 +1,554 @@
+//===- analysis/Solver.cpp - Context-sensitive points-to solver -----------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Solver.h"
+
+#include "analysis/ContextPolicy.h"
+#include "ir/Program.h"
+#include "support/Timer.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace intro;
+
+namespace {
+
+constexpr uint8_t NodeKindVar = 0;
+constexpr uint8_t NodeKindField = 1;
+constexpr uint8_t NodeKindStaticField = 2;
+constexpr uint8_t NodeKindThrow = 3;
+
+uint64_t pack(uint32_t High, uint32_t Low) {
+  return (static_cast<uint64_t>(High) << 32) | Low;
+}
+
+/// One constraint-graph node: a (var, ctx) pair or an (object, field) pair.
+struct Node {
+  SortedIdSet Pts;    ///< All objects known to flow here.
+  SortedIdSet Delta;  ///< Subset of Pts not yet propagated (sorted).
+  SortedIdSet Succ;   ///< Subset edges: Pts flows into these nodes.
+  /// Filtered (checked-cast / catch) edges, packed as (dst << 32 | type);
+  /// only objects compatible with type flow across.  Sorted for dedup.
+  std::vector<uint64_t> FilterSucc;
+  /// Complement-filtered edges (uncaught-exception propagation): only
+  /// objects NOT compatible with type flow across.  Sorted for dedup.
+  std::vector<uint64_t> NegFilterSucc;
+  /// For var nodes holding a Load base: (field, destination node).
+  std::vector<std::pair<uint32_t, uint32_t>> LoadUses;
+  /// For var nodes holding a Store base: (field, source node).
+  std::vector<std::pair<uint32_t, uint32_t>> StoreUses;
+  /// For var nodes that are virtual-call receivers: the call sites.
+  std::vector<uint32_t> CallUses;
+  uint32_t CtxRaw = 0; ///< Calling context (var nodes only).
+  bool InWorklist = false;
+};
+
+class Solver {
+public:
+  Solver(const Program &Prog, const ContextPolicy &Policy, ContextTable &Ctxs,
+         const SolverOptions &Opts)
+      : Prog(Prog), Policy(Policy), Ctxs(Ctxs), Opts(Opts) {}
+
+  PointsToResult run() {
+    CtxId Initial = Policy.initialContext(Ctxs);
+    for (MethodId Entry : Prog.entries())
+      enqueueReachable(Entry, Initial);
+
+    uint64_t Checkpoint = 0;
+    while (!PendingReachable.empty() || !Worklist.empty()) {
+      // The tuple budget is cheap to test, so test it every iteration; the
+      // clock only every 1024 to keep the hot loop lean.
+      if (TotalTuples > Opts.Budget.MaxTuples ||
+          (++Checkpoint % 1024 == 0 && budgetExceeded())) {
+        if (Status == SolveStatus::Completed)
+          Status = SolveStatus::TupleBudgetExceeded;
+        break;
+      }
+      if (!PendingReachable.empty()) {
+        auto [Method, Ctx] = PendingReachable.back();
+        PendingReachable.pop_back();
+        instantiate(MethodId(Method), CtxId(Ctx));
+        continue;
+      }
+      processNode(popWorklist());
+    }
+    return finish();
+  }
+
+private:
+  // --- Budget ------------------------------------------------------------
+
+  bool budgetExceeded() {
+    if (TotalTuples > Opts.Budget.MaxTuples) {
+      Status = SolveStatus::TupleBudgetExceeded;
+      return true;
+    }
+    if (Clock.seconds() > Opts.Budget.MaxSeconds) {
+      Status = SolveStatus::TimeBudgetExceeded;
+      return true;
+    }
+    return false;
+  }
+
+  // --- Node and object interning ------------------------------------------
+
+  uint32_t getObject(HeapId Heap, HCtxId HCtx) {
+    uint64_t Key = pack(Heap.index(), HCtx.index());
+    auto [It, Inserted] = ObjIndex.emplace(Key, Objects.size());
+    if (Inserted)
+      Objects.push_back({Heap.index(), HCtx.index()});
+    return It->second;
+  }
+
+  uint32_t newNode(uint8_t Kind, uint64_t Key, uint32_t CtxRaw) {
+    uint32_t Index = static_cast<uint32_t>(Nodes.size());
+    Nodes.emplace_back();
+    Nodes.back().CtxRaw = CtxRaw;
+    NodeKind.push_back(Kind);
+    NodeKey.push_back(Key);
+    return Index;
+  }
+
+  uint32_t varNode(VarId Var, CtxId Ctx) {
+    uint64_t Key = pack(Var.index(), Ctx.index());
+    auto [It, Inserted] = VarNodeIndex.emplace(Key, 0);
+    if (Inserted)
+      It->second = newNode(NodeKindVar, Key, Ctx.index());
+    return It->second;
+  }
+
+  uint32_t fieldNode(uint32_t Object, FieldId Field) {
+    uint64_t Key = pack(Object, Field.index());
+    auto [It, Inserted] = FieldNodeIndex.emplace(Key, 0);
+    if (Inserted)
+      It->second = newNode(NodeKindField, Key, 0);
+    return It->second;
+  }
+
+  /// Static fields are single global cells (Doop: StaticFieldPointsTo has
+  /// no base object and no context).
+  uint32_t staticFieldNode(FieldId Field) {
+    auto [It, Inserted] = StaticFieldNodeIndex.emplace(Field.index(), 0);
+    if (Inserted)
+      It->second = newNode(NodeKindStaticField, Field.index(), 0);
+    return It->second;
+  }
+
+  /// The set of exception objects escaping (method, ctx) — the paper
+  /// [11]-style THROWPOINTSTO relation.
+  uint32_t throwNode(MethodId Method, CtxId Ctx) {
+    uint64_t Key = pack(Method.index(), Ctx.index());
+    auto [It, Inserted] = ThrowNodeIndex.emplace(Key, 0);
+    if (Inserted)
+      It->second = newNode(NodeKindThrow, Key, Ctx.index());
+    return It->second;
+  }
+
+  // --- Core propagation ----------------------------------------------------
+
+  void pushWorklist(uint32_t N) {
+    if (Nodes[N].InWorklist)
+      return;
+    Nodes[N].InWorklist = true;
+    Worklist.push_back(N);
+  }
+
+  uint32_t popWorklist() {
+    uint32_t N = Worklist.back();
+    Worklist.pop_back();
+    Nodes[N].InWorklist = false;
+    ++Pops;
+    return N;
+  }
+
+  /// Adds \p Object to node \p N.  \returns true if it was new.
+  bool addObjectTo(uint32_t N, uint32_t Object) {
+    if (!setInsert(Nodes[N].Pts, Object))
+      return false;
+    ++TotalTuples;
+    setInsert(Nodes[N].Delta, Object);
+    pushWorklist(N);
+    return true;
+  }
+
+  /// Adds the subset edge \p Src -> \p Dst, propagating existing objects.
+  void addEdge(uint32_t Src, uint32_t Dst) {
+    if (Src == Dst)
+      return; // pts(n) <= pts(n) holds trivially.
+    if (!setInsert(Nodes[Src].Succ, Dst))
+      return;
+    // Propagate the full current set; snapshot it because addObjectTo may
+    // reallocate Nodes.
+    SortedIdSet Snapshot = Nodes[Src].Pts;
+    for (uint32_t Object : Snapshot)
+      addObjectTo(Dst, Object);
+  }
+
+  /// \returns true if \p Object (a (heap, hctx) pair) is a subtype of
+  /// \p CastTypeRaw — the checked-cast filter.
+  bool castAdmits(uint32_t Object, uint32_t CastTypeRaw) const {
+    return Prog.isSubtypeOf(Prog.heap(HeapId(Objects[Object].first)).Type,
+                            TypeId(CastTypeRaw));
+  }
+
+  /// Adds a type-filtered edge \p Src -> \p Dst: \p Negated=false admits
+  /// subtypes of \p FilterType (checked cast, catch), Negated=true admits
+  /// the complement (uncaught-exception propagation).
+  void addFilteredEdge(uint32_t Src, uint32_t Dst, TypeId FilterType,
+                       bool Negated = false) {
+    uint64_t Packed = pack(Dst, FilterType.index());
+    auto &Edges = Negated ? Nodes[Src].NegFilterSucc : Nodes[Src].FilterSucc;
+    auto It = std::lower_bound(Edges.begin(), Edges.end(), Packed);
+    if (It != Edges.end() && *It == Packed)
+      return;
+    Edges.insert(It, Packed);
+    SortedIdSet Snapshot = Nodes[Src].Pts;
+    for (uint32_t Object : Snapshot)
+      if (castAdmits(Object, FilterType.index()) != Negated)
+        addObjectTo(Dst, Object);
+  }
+
+  void processNode(uint32_t N) {
+    SortedIdSet Delta = std::move(Nodes[N].Delta);
+    Nodes[N].Delta.clear();
+    if (Delta.empty())
+      return;
+
+    // LOAD rule: to = base.fld joins FLDPOINTSTO of every new base object.
+    // Snapshot the use lists: dispatching can create nodes (reallocating
+    // Nodes) but never adds uses to an already-instantiated (var, ctx).
+    {
+      auto LoadUses = Nodes[N].LoadUses;
+      for (auto [FieldRaw, Dst] : LoadUses)
+        for (uint32_t Object : Delta)
+          addEdge(fieldNode(Object, FieldId(FieldRaw)), Dst);
+    }
+    // STORE rule: base.fld = from feeds FLDPOINTSTO of every new object.
+    {
+      auto StoreUses = Nodes[N].StoreUses;
+      for (auto [FieldRaw, Src] : StoreUses)
+        for (uint32_t Object : Delta)
+          addEdge(Src, fieldNode(Object, FieldId(FieldRaw)));
+    }
+    // VCALL rule: dispatch on every new receiver object.
+    {
+      auto CallUses = Nodes[N].CallUses;
+      uint32_t CtxRaw = Nodes[N].CtxRaw;
+      for (uint32_t SiteRaw : CallUses)
+        for (uint32_t Object : Delta)
+          dispatch(SiteId(SiteRaw), CtxId(CtxRaw), Object);
+    }
+    // Copy edges (MOVE / INTERPROCASSIGN / field flow).
+    {
+      SortedIdSet Succ = Nodes[N].Succ; // Snapshot: edges may be added.
+      for (uint32_t Dst : Succ)
+        for (uint32_t Object : Delta)
+          addObjectTo(Dst, Object);
+    }
+    // Type-filtered edges (checked casts, catch clauses) and their
+    // complements (uncaught-exception propagation).
+    for (bool Negated : {false, true}) {
+      const auto &Source =
+          Negated ? Nodes[N].NegFilterSucc : Nodes[N].FilterSucc;
+      if (Source.empty())
+        continue;
+      std::vector<uint64_t> Filtered = Source; // Snapshot.
+      for (uint64_t Packed : Filtered) {
+        uint32_t Dst = static_cast<uint32_t>(Packed >> 32);
+        uint32_t FilterTypeRaw = static_cast<uint32_t>(Packed);
+        for (uint32_t Object : Delta)
+          if (castAdmits(Object, FilterTypeRaw) != Negated)
+            addObjectTo(Dst, Object);
+      }
+    }
+  }
+
+  // --- Call handling --------------------------------------------------------
+
+  void recordCallEdge(SiteId Site, CtxId CallerCtx, MethodId Callee,
+                      CtxId CalleeCtx) {
+    if (CallEdgeProjection.insert(pack(Site.index(), Callee.index())).second)
+      SiteTargets[Site.index()].push_back(Callee.index());
+    if (Opts.KeepTuples)
+      CallGraphTuples.insert(
+          {Site.index(), CallerCtx.index(), Callee.index(), CalleeCtx.index()});
+  }
+
+  void bindArguments(const SiteInfo &Site, CtxId CallerCtx, MethodId Callee,
+                     CtxId CalleeCtx) {
+    const MethodInfo &Target = Prog.method(Callee);
+    size_t NumArgs = std::min(Site.Actuals.size(), Target.Formals.size());
+    for (size_t Index = 0; Index < NumArgs; ++Index)
+      addEdge(varNode(Site.Actuals[Index], CallerCtx),
+              varNode(Target.Formals[Index], CalleeCtx));
+    if (Site.Result.isValid() && Target.Return.isValid())
+      addEdge(varNode(Target.Return, CalleeCtx),
+              varNode(Site.Result, CallerCtx));
+
+    // Exception flow: objects escaping the callee either bind to the
+    // site's catch variable (subtype of the catch type) or escape the
+    // caller as well (complement).  Without a catch clause, everything
+    // escapes upward.
+    uint32_t CalleeThrow = throwNode(Callee, CalleeCtx);
+    if (Site.CatchVar.isValid()) {
+      addFilteredEdge(CalleeThrow, varNode(Site.CatchVar, CallerCtx),
+                      Site.CatchType);
+      addFilteredEdge(CalleeThrow, throwNode(Site.InMethod, CallerCtx),
+                      Site.CatchType, /*Negated=*/true);
+    } else {
+      addEdge(CalleeThrow, throwNode(Site.InMethod, CallerCtx));
+    }
+  }
+
+  void dispatch(SiteId SiteHandle, CtxId CallerCtx, uint32_t Object) {
+    const SiteInfo &Site = Prog.site(SiteHandle);
+    auto [HeapRaw, HCtxRaw] = Objects[Object];
+    HeapId Heap(HeapRaw);
+    MethodId Callee = Prog.lookup(Prog.heap(Heap).Type, Site.Sig);
+    if (!Callee.isValid())
+      return; // No method matches the signature: dispatch failure.
+
+    CtxId CalleeCtx = Policy.merge(Heap, HCtxId(HCtxRaw), SiteHandle, Callee,
+                                   CallerCtx, Ctxs);
+    recordCallEdge(SiteHandle, CallerCtx, Callee, CalleeCtx);
+    enqueueReachable(Callee, CalleeCtx);
+    addObjectTo(varNode(Prog.method(Callee).This, CalleeCtx), Object);
+    bindArguments(Site, CallerCtx, Callee, CalleeCtx);
+  }
+
+  // --- Method instantiation --------------------------------------------------
+
+  void enqueueReachable(MethodId Method, CtxId Ctx) {
+    if (!ReachableSet.insert(pack(Method.index(), Ctx.index())).second)
+      return;
+    ReachableList.push_back({Method.index(), Ctx.index()});
+    PendingReachable.push_back({Method.index(), Ctx.index()});
+  }
+
+  /// Applies the body of \p Method under \p Ctx: the ALLOC/MOVE rules fire
+  /// immediately; LOAD/STORE/VCALL register trigger lists on their base
+  /// variables; static calls resolve on the spot.
+  void instantiate(MethodId Method, CtxId Ctx) {
+    const MethodInfo &Info = Prog.method(Method);
+    for (const Instruction &Instr : Info.Body) {
+      switch (Instr.Kind) {
+      case InstrKind::Alloc: {
+        HCtxId HCtx = Policy.record(Instr.Heap, Ctx, Ctxs);
+        addObjectTo(varNode(Instr.To, Ctx), getObject(Instr.Heap, HCtx));
+        break;
+      }
+      case InstrKind::Move:
+        addEdge(varNode(Instr.From, Ctx), varNode(Instr.To, Ctx));
+        break;
+      case InstrKind::Cast:
+        if (Opts.FilterCasts)
+          addFilteredEdge(varNode(Instr.From, Ctx), varNode(Instr.To, Ctx),
+                          Instr.CastType);
+        else
+          addEdge(varNode(Instr.From, Ctx), varNode(Instr.To, Ctx));
+        break;
+      case InstrKind::Load: {
+        uint32_t Base = varNode(Instr.Base, Ctx);
+        uint32_t Dst = varNode(Instr.To, Ctx);
+        Nodes[Base].LoadUses.push_back({Instr.Field.index(), Dst});
+        SortedIdSet Snapshot = Nodes[Base].Pts;
+        for (uint32_t Object : Snapshot)
+          addEdge(fieldNode(Object, Instr.Field), Dst);
+        break;
+      }
+      case InstrKind::Store: {
+        uint32_t Base = varNode(Instr.Base, Ctx);
+        uint32_t Src = varNode(Instr.From, Ctx);
+        Nodes[Base].StoreUses.push_back({Instr.Field.index(), Src});
+        SortedIdSet Snapshot = Nodes[Base].Pts;
+        for (uint32_t Object : Snapshot)
+          addEdge(Src, fieldNode(Object, Instr.Field));
+        break;
+      }
+      case InstrKind::SLoad:
+        addEdge(staticFieldNode(Instr.Field), varNode(Instr.To, Ctx));
+        break;
+      case InstrKind::SStore:
+        addEdge(varNode(Instr.From, Ctx), staticFieldNode(Instr.Field));
+        break;
+      case InstrKind::Throw:
+        addEdge(varNode(Instr.From, Ctx), throwNode(Method, Ctx));
+        break;
+      case InstrKind::Call: {
+        const SiteInfo &Site = Prog.site(Instr.Site);
+        if (Site.IsStatic) {
+          MethodId Callee = Site.StaticTarget;
+          CtxId CalleeCtx = Policy.mergeStatic(Instr.Site, Callee, Ctx, Ctxs);
+          recordCallEdge(Instr.Site, Ctx, Callee, CalleeCtx);
+          enqueueReachable(Callee, CalleeCtx);
+          bindArguments(Site, Ctx, Callee, CalleeCtx);
+          break;
+        }
+        uint32_t Base = varNode(Site.Base, Ctx);
+        Nodes[Base].CallUses.push_back(Instr.Site.index());
+        SortedIdSet Snapshot = Nodes[Base].Pts;
+        for (uint32_t Object : Snapshot)
+          dispatch(Instr.Site, Ctx, Object);
+        break;
+      }
+      }
+    }
+  }
+
+  // --- Result assembly ---------------------------------------------------------
+
+  PointsToResult finish() {
+    PointsToResult Result;
+    Result.Status = Status;
+    Result.AnalysisName = Policy.name();
+
+    Result.VarHeaps.resize(Prog.numVars());
+    Result.MethodReachable.assign(Prog.numMethods(), false);
+    Result.SiteTargets.resize(Prog.numSites());
+    for (uint32_t SiteIndex = 0; SiteIndex < Prog.numSites(); ++SiteIndex) {
+      Result.SiteTargets[SiteIndex] = std::move(SiteTargets[SiteIndex]);
+      setNormalize(Result.SiteTargets[SiteIndex]);
+    }
+
+    Result.MethodThrows.resize(Prog.numMethods());
+    uint64_t VarTuples = 0;
+    uint64_t FieldTuples = 0;
+    uint64_t ThrowTuples = 0;
+    uint64_t StaticTuples = 0;
+    for (uint32_t N = 0; N < Nodes.size(); ++N) {
+      const Node &NodeRef = Nodes[N];
+      switch (NodeKind[N]) {
+      case NodeKindVar: {
+        VarTuples += NodeRef.Pts.size();
+        uint32_t VarRaw = static_cast<uint32_t>(NodeKey[N] >> 32);
+        SortedIdSet &Heaps = Result.VarHeaps[VarRaw];
+        for (uint32_t Object : NodeRef.Pts)
+          Heaps.push_back(Objects[Object].first);
+        if (Opts.KeepTuples)
+          for (uint32_t Object : NodeRef.Pts)
+            Result.VarPointsTo.push_back({VarRaw, NodeRef.CtxRaw,
+                                          Objects[Object].first,
+                                          Objects[Object].second});
+        break;
+      }
+      case NodeKindField: {
+        FieldTuples += NodeRef.Pts.size();
+        uint32_t BaseObject = static_cast<uint32_t>(NodeKey[N] >> 32);
+        uint32_t FieldRaw = static_cast<uint32_t>(NodeKey[N]);
+        uint64_t Key = pack(Objects[BaseObject].first, FieldRaw);
+        SortedIdSet &Heaps = Result.FieldHeaps[Key];
+        for (uint32_t Object : NodeRef.Pts)
+          Heaps.push_back(Objects[Object].first);
+        if (Opts.KeepTuples)
+          for (uint32_t Object : NodeRef.Pts)
+            Result.FieldPointsTo.push_back(
+                {Objects[BaseObject].first, Objects[BaseObject].second,
+                 FieldRaw, Objects[Object].first, Objects[Object].second});
+        break;
+      }
+      case NodeKindStaticField: {
+        StaticTuples += NodeRef.Pts.size();
+        uint32_t FieldRaw = static_cast<uint32_t>(NodeKey[N]);
+        SortedIdSet &Heaps = Result.StaticFieldHeaps[FieldRaw];
+        for (uint32_t Object : NodeRef.Pts)
+          Heaps.push_back(Objects[Object].first);
+        if (Opts.KeepTuples)
+          for (uint32_t Object : NodeRef.Pts)
+            Result.StaticFieldPointsTo.push_back(
+                {FieldRaw, Objects[Object].first, Objects[Object].second});
+        break;
+      }
+      case NodeKindThrow: {
+        ThrowTuples += NodeRef.Pts.size();
+        uint32_t MethodRaw = static_cast<uint32_t>(NodeKey[N] >> 32);
+        SortedIdSet &Heaps = Result.MethodThrows[MethodRaw];
+        for (uint32_t Object : NodeRef.Pts)
+          Heaps.push_back(Objects[Object].first);
+        if (Opts.KeepTuples)
+          for (uint32_t Object : NodeRef.Pts)
+            Result.ThrowPointsTo.push_back({MethodRaw, NodeRef.CtxRaw,
+                                            Objects[Object].first,
+                                            Objects[Object].second});
+        break;
+      }
+      }
+    }
+    for (SortedIdSet &Heaps : Result.VarHeaps)
+      setNormalize(Heaps);
+    for (auto &[Key, Heaps] : Result.FieldHeaps)
+      setNormalize(Heaps);
+    for (auto &[Key, Heaps] : Result.StaticFieldHeaps)
+      setNormalize(Heaps);
+    for (SortedIdSet &Heaps : Result.MethodThrows)
+      setNormalize(Heaps);
+
+    for (auto [MethodRaw, CtxRaw] : ReachableList) {
+      Result.MethodReachable[MethodRaw] = true;
+      if (Opts.KeepTuples)
+        Result.Reachable.push_back({MethodRaw, CtxRaw});
+    }
+    if (Opts.KeepTuples)
+      Result.CallGraph.assign(CallGraphTuples.begin(), CallGraphTuples.end());
+
+    Result.Stats.Seconds = Clock.seconds();
+    Result.Stats.VarPointsToTuples = VarTuples;
+    Result.Stats.FieldPointsToTuples = FieldTuples;
+    Result.Stats.ThrowPointsToTuples = ThrowTuples;
+    Result.Stats.StaticFieldTuples = StaticTuples;
+    uint64_t NumFieldNodes = FieldNodeIndex.size();
+    Result.Stats.NumVarNodes = VarNodeIndex.size();
+    Result.Stats.NumFieldNodes = NumFieldNodes;
+    Result.Stats.NumObjects = Objects.size();
+    Result.Stats.NumContexts = Ctxs.numContexts();
+    Result.Stats.NumHeapContexts = Ctxs.numHeapContexts();
+    Result.Stats.ReachableMethodContexts = ReachableList.size();
+    Result.Stats.CallGraphEdges = CallEdgeProjection.size();
+    Result.Stats.WorklistPops = Pops;
+    return Result;
+  }
+
+  const Program &Prog;
+  const ContextPolicy &Policy;
+  ContextTable &Ctxs;
+  SolverOptions Opts;
+  Timer Clock;
+
+  std::vector<Node> Nodes;
+  std::vector<uint8_t> NodeKind;
+  std::vector<uint64_t> NodeKey;
+  std::unordered_map<uint64_t, uint32_t> VarNodeIndex;
+  std::unordered_map<uint64_t, uint32_t> FieldNodeIndex;
+  std::unordered_map<uint32_t, uint32_t> StaticFieldNodeIndex;
+  std::unordered_map<uint64_t, uint32_t> ThrowNodeIndex;
+
+  std::unordered_map<uint64_t, uint32_t> ObjIndex;
+  std::vector<std::pair<uint32_t, uint32_t>> Objects;
+
+  std::vector<uint32_t> Worklist;
+  std::vector<std::pair<uint32_t, uint32_t>> PendingReachable;
+  std::unordered_set<uint64_t> ReachableSet;
+  std::vector<std::pair<uint32_t, uint32_t>> ReachableList;
+
+  std::unordered_set<uint64_t> CallEdgeProjection;
+  std::vector<SortedIdSet> SiteTargets =
+      std::vector<SortedIdSet>(Prog.numSites());
+  std::set<std::array<uint32_t, 4>> CallGraphTuples;
+
+  uint64_t TotalTuples = 0;
+  uint64_t Pops = 0;
+  SolveStatus Status = SolveStatus::Completed;
+};
+
+} // namespace
+
+PointsToResult intro::solvePointsTo(const Program &Prog,
+                                    const ContextPolicy &Policy,
+                                    ContextTable &Table,
+                                    const SolverOptions &Options) {
+  return Solver(Prog, Policy, Table, Options).run();
+}

@@ -1,0 +1,80 @@
+//===- analysis/Statistics.cpp - Context-growth diagnostics ---------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Statistics.h"
+
+#include "analysis/Result.h"
+#include "ir/Program.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace intro;
+
+namespace {
+
+std::vector<std::pair<uint32_t, uint64_t>>
+topN(const std::map<uint32_t, uint64_t> &Counts, size_t TopN) {
+  std::vector<std::pair<uint32_t, uint64_t>> All(Counts.begin(),
+                                                 Counts.end());
+  // Sort by count descending, method id ascending for determinism.
+  std::sort(All.begin(), All.end(), [](const auto &A, const auto &B) {
+    if (A.second != B.second)
+      return A.second > B.second;
+    return A.first < B.first;
+  });
+  if (All.size() > TopN)
+    All.resize(TopN);
+  return All;
+}
+
+} // namespace
+
+ContextStatistics
+intro::computeContextStatistics(const Program &Prog,
+                                const PointsToResult &Result, size_t TopN) {
+  ContextStatistics Stats;
+
+  std::map<uint32_t, uint64_t> ContextsPerMethod;
+  for (const auto &Row : Result.Reachable)
+    ++ContextsPerMethod[Row[0]];
+
+  std::map<uint32_t, uint64_t> TuplesPerMethod;
+  for (const auto &Row : Result.VarPointsTo)
+    ++TuplesPerMethod[Prog.var(VarId(Row[0])).Owner.index()];
+
+  Stats.ReachableMethods = ContextsPerMethod.size();
+  for (const auto &[MethodRaw, Count] : ContextsPerMethod) {
+    Stats.TotalMethodContexts += Count;
+    Stats.MaxContextsPerMethod = std::max(Stats.MaxContextsPerMethod, Count);
+  }
+  if (Stats.ReachableMethods > 0)
+    Stats.MeanContextsPerMethod =
+        static_cast<double>(Stats.TotalMethodContexts) /
+        static_cast<double>(Stats.ReachableMethods);
+  Stats.TopByContexts = topN(ContextsPerMethod, TopN);
+  Stats.TopByTuples = topN(TuplesPerMethod, TopN);
+  return Stats;
+}
+
+void intro::printContextStatistics(const Program &Prog,
+                                   const ContextStatistics &Stats,
+                                   std::ostream &Out) {
+  Out << "reachable methods:      " << Stats.ReachableMethods << "\n"
+      << "method-context pairs:   " << Stats.TotalMethodContexts << "\n"
+      << "mean contexts/method:   " << Stats.MeanContextsPerMethod << "\n"
+      << "max contexts/method:    " << Stats.MaxContextsPerMethod << "\n";
+  Out << "top methods by contexts:\n";
+  for (auto [MethodRaw, Count] : Stats.TopByContexts)
+    Out << "  " << Prog.typeName(Prog.method(MethodId(MethodRaw)).Owner)
+        << "." << Prog.methodName(MethodId(MethodRaw)) << ": " << Count
+        << "\n";
+  Out << "top methods by var-points-to tuples:\n";
+  for (auto [MethodRaw, Count] : Stats.TopByTuples)
+    Out << "  " << Prog.typeName(Prog.method(MethodId(MethodRaw)).Owner)
+        << "." << Prog.methodName(MethodId(MethodRaw)) << ": " << Count
+        << "\n";
+}

@@ -1,0 +1,55 @@
+//===- datalog/Aggregates.cpp - Count aggregation over relations ----------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datalog/Aggregates.h"
+
+#include <cassert>
+#include <set>
+
+using namespace intro::datalog;
+
+std::vector<GroupCount>
+intro::datalog::countGroupBy(const Relation &Rel,
+                             const std::vector<uint32_t> &GroupColumns) {
+  std::map<std::vector<uint32_t>, uint64_t> Groups;
+  std::vector<uint32_t> Key(GroupColumns.size());
+  for (uint32_t Index = 0; Index < Rel.size(); ++Index) {
+    auto Tuple = Rel.tuple(Index);
+    for (size_t Col = 0; Col < GroupColumns.size(); ++Col) {
+      assert(GroupColumns[Col] < Rel.arity() && "group column out of range");
+      Key[Col] = Tuple[GroupColumns[Col]];
+    }
+    ++Groups[Key];
+  }
+  std::vector<GroupCount> Result;
+  Result.reserve(Groups.size());
+  for (auto &[GroupKey, Count] : Groups)
+    Result.push_back(GroupCount{GroupKey, Count});
+  return Result;
+}
+
+std::vector<GroupCount> intro::datalog::countDistinctGroupBy(
+    const Relation &Rel, const std::vector<uint32_t> &GroupColumns,
+    const std::vector<uint32_t> &CountColumns) {
+  std::map<std::vector<uint32_t>, std::set<std::vector<uint32_t>>> Groups;
+  std::vector<uint32_t> Key(GroupColumns.size());
+  std::vector<uint32_t> Counted(CountColumns.size());
+  for (uint32_t Index = 0; Index < Rel.size(); ++Index) {
+    auto Tuple = Rel.tuple(Index);
+    for (size_t Col = 0; Col < GroupColumns.size(); ++Col)
+      Key[Col] = Tuple[GroupColumns[Col]];
+    for (size_t Col = 0; Col < CountColumns.size(); ++Col) {
+      assert(CountColumns[Col] < Rel.arity() && "count column out of range");
+      Counted[Col] = Tuple[CountColumns[Col]];
+    }
+    Groups[Key].insert(Counted);
+  }
+  std::vector<GroupCount> Result;
+  Result.reserve(Groups.size());
+  for (auto &[GroupKey, Distinct] : Groups)
+    Result.push_back(GroupCount{GroupKey, Distinct.size()});
+  return Result;
+}

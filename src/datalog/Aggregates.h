@@ -1,0 +1,50 @@
+//===- datalog/Aggregates.h - Count aggregation over relations --*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's metric queries aggregate over Datalog relations ("agg<result
+/// = count()>").  Our engine keeps aggregation out of the rule language (it
+/// is non-monotonic) and instead provides it as a post-fixpoint operation
+/// over a computed relation, which is exactly how the metric queries use it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATALOG_AGGREGATES_H
+#define DATALOG_AGGREGATES_H
+
+#include "datalog/Relation.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace intro::datalog {
+
+/// A group key (the projected columns) with its row count.
+struct GroupCount {
+  std::vector<uint32_t> Key;
+  uint64_t Count = 0;
+};
+
+/// Counts the tuples of \p Rel per distinct projection onto \p GroupColumns
+/// (0-based column indices).  Results are sorted by key.
+///
+/// Example: `INFLOW(invo) = count()` over
+/// `HEAPSPERINVOCATIONPERARG(invo, arg, heap)` is
+/// `countGroupBy(HeapsRel, {0})`.
+std::vector<GroupCount> countGroupBy(const Relation &Rel,
+                                     const std::vector<uint32_t> &GroupColumns);
+
+/// Counts *distinct* projections onto \p CountColumns per group, rather
+/// than raw rows — `count(distinct ...)`.
+std::vector<GroupCount>
+countDistinctGroupBy(const Relation &Rel,
+                     const std::vector<uint32_t> &GroupColumns,
+                     const std::vector<uint32_t> &CountColumns);
+
+} // namespace intro::datalog
+
+#endif // DATALOG_AGGREGATES_H

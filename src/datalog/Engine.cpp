@@ -1,0 +1,289 @@
+//===- datalog/Engine.cpp - Semi-naive Datalog evaluation -----------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datalog/Engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace intro::datalog;
+
+uint32_t Engine::addRelation(std::string Name, uint32_t Arity) {
+  Relations.emplace_back(std::move(Name), Arity);
+  Intensional.push_back(false);
+  return static_cast<uint32_t>(Relations.size() - 1);
+}
+
+uint32_t Engine::addFunctor(Functor Fn) {
+  Functors.push_back(std::move(Fn));
+  return static_cast<uint32_t>(Functors.size() - 1);
+}
+
+void Engine::addRule(Rule NewRule) {
+  assert(!NewRule.Heads.empty() && "rule must have at least one head");
+  for (const Atom &Head : NewRule.Heads) {
+    assert(!Head.Negated && "head atoms cannot be negated");
+    Intensional[Head.RelationIndex] = true;
+  }
+  Rules.push_back(std::move(NewRule));
+}
+
+uint32_t Engine::numVars(const Rule &RuleRef) {
+  uint32_t Max = 0;
+  auto Scan = [&Max](const std::vector<Term> &Terms) {
+    for (const Term &T : Terms)
+      if (T.IsVar)
+        Max = std::max(Max, T.Value + 1);
+  };
+  for (const Atom &A : RuleRef.Heads)
+    Scan(A.Terms);
+  for (const Atom &A : RuleRef.Body)
+    Scan(A.Terms);
+  for (const FunctorCall &F : RuleRef.Functors) {
+    Scan(F.Inputs);
+    Max = std::max(Max, F.OutVar + 1);
+  }
+  return Max;
+}
+
+uint64_t Engine::hashBound(std::span<const uint32_t> Tuple, uint32_t Mask) {
+  uint64_t Hash = 1469598103934665603ull;
+  for (size_t Position = 0; Position < Tuple.size(); ++Position) {
+    if (!(Mask & (1u << Position)))
+      continue;
+    Hash ^= Tuple[Position];
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+const Engine::JoinIndex &Engine::getIndex(uint32_t RelationIndex,
+                                          uint32_t Mask) {
+  JoinIndex &Index = Indexes[IndexKey{RelationIndex, Mask}];
+  const Relation &Rel = Relations[RelationIndex];
+  if (Index.BuiltAtVersion == ~0ull) {
+    Index.BuiltAtVersion = 0;
+    Index.BuiltSize = 0;
+  }
+  // Relations only grow, so the index is extended incrementally.
+  for (uint32_t TupleIndex = Index.BuiltSize; TupleIndex < Rel.size();
+       ++TupleIndex)
+    Index.Map.emplace(hashBound(Rel.tuple(TupleIndex), Mask), TupleIndex);
+  Index.BuiltSize = Rel.size();
+  return Index;
+}
+
+void Engine::fireRule(const Rule &RuleRef, std::vector<uint32_t> &Env,
+                      std::vector<bool> &Bound, bool &Changed) {
+  // Constructor functors: bind fresh variables from bound inputs.
+  std::vector<uint32_t> FunctorBound;
+  std::vector<uint32_t> Inputs;
+  for (const FunctorCall &Call : RuleRef.Functors) {
+    Inputs.clear();
+    for (const Term &T : Call.Inputs) {
+      assert((!T.IsVar || Bound[T.Value]) && "functor input must be bound");
+      Inputs.push_back(T.IsVar ? Env[T.Value] : T.Value);
+    }
+    uint32_t Out = Functors[Call.FunctorIndex](Inputs);
+    assert(!Bound[Call.OutVar] && "functor output variable already bound");
+    Env[Call.OutVar] = Out;
+    Bound[Call.OutVar] = true;
+    FunctorBound.push_back(Call.OutVar);
+  }
+
+  std::vector<uint32_t> HeadTuple;
+  for (const Atom &Head : RuleRef.Heads) {
+    HeadTuple.clear();
+    for (const Term &T : Head.Terms) {
+      assert((!T.IsVar || Bound[T.Value]) && "head variable must be bound");
+      HeadTuple.push_back(T.IsVar ? Env[T.Value] : T.Value);
+    }
+    if (Relations[Head.RelationIndex].insert(HeadTuple)) {
+      ++TotalTuples;
+      Changed = true;
+    }
+  }
+
+  for (uint32_t Var : FunctorBound)
+    Bound[Var] = false;
+}
+
+void Engine::matchAtoms(const Rule &RuleRef, size_t AtomIndex, int DeltaAtom,
+                        uint32_t DeltaBegin, uint32_t DeltaEnd,
+                        std::vector<uint32_t> &Env, std::vector<bool> &Bound,
+                        bool &Changed) {
+  if (TotalTuples > MaxTuples)
+    return;
+  if (AtomIndex == RuleRef.Body.size()) {
+    fireRule(RuleRef, Env, Bound, Changed);
+    return;
+  }
+
+  const Atom &A = RuleRef.Body[AtomIndex];
+  const Relation &Rel = Relations[A.RelationIndex];
+
+  if (A.Negated) {
+    std::vector<uint32_t> Probe;
+    for (const Term &T : A.Terms) {
+      assert((!T.IsVar || Bound[T.Value]) &&
+             "negated atom must be fully bound");
+      Probe.push_back(T.IsVar ? Env[T.Value] : T.Value);
+    }
+    if (Rel.contains(Probe))
+      return;
+    matchAtoms(RuleRef, AtomIndex + 1, DeltaAtom, DeltaBegin, DeltaEnd, Env,
+               Bound, Changed);
+    return;
+  }
+
+  // Build the binding mask: positions whose value is known now.
+  uint32_t Mask = 0;
+  for (size_t Position = 0; Position < A.Terms.size(); ++Position) {
+    const Term &T = A.Terms[Position];
+    if (!T.IsVar || Bound[T.Value])
+      Mask |= 1u << Position;
+  }
+
+  uint32_t RangeBegin = 0;
+  uint32_t RangeEnd = Rel.size();
+  if (static_cast<int>(AtomIndex) == DeltaAtom) {
+    RangeBegin = DeltaBegin;
+    RangeEnd = DeltaEnd;
+  }
+
+  auto TryTuple = [&](uint32_t TupleIndex) {
+    std::span<const uint32_t> Tuple = Rel.tuple(TupleIndex);
+    // Unify, trailing the variables we bind so we can undo.
+    uint32_t Trail[16];
+    uint32_t TrailSize = 0;
+    bool Ok = true;
+    for (size_t Position = 0; Position < A.Terms.size(); ++Position) {
+      const Term &T = A.Terms[Position];
+      uint32_t Value = Tuple[Position];
+      if (!T.IsVar) {
+        if (T.Value != Value) {
+          Ok = false;
+          break;
+        }
+      } else if (Bound[T.Value]) {
+        if (Env[T.Value] != Value) {
+          Ok = false;
+          break;
+        }
+      } else {
+        Env[T.Value] = Value;
+        Bound[T.Value] = true;
+        assert(TrailSize < 16 && "atom arity too large");
+        Trail[TrailSize++] = T.Value;
+      }
+    }
+    if (Ok)
+      matchAtoms(RuleRef, AtomIndex + 1, DeltaAtom, DeltaBegin, DeltaEnd, Env,
+                 Bound, Changed);
+    for (uint32_t Undo = 0; Undo < TrailSize; ++Undo)
+      Bound[Trail[Undo]] = false;
+  };
+
+  if (Mask == 0) {
+    for (uint32_t TupleIndex = RangeBegin; TupleIndex < RangeEnd; ++TupleIndex)
+      TryTuple(TupleIndex);
+    return;
+  }
+
+  // Hash-indexed lookup on the bound positions.
+  std::vector<uint32_t> Probe(A.Terms.size(), 0);
+  for (size_t Position = 0; Position < A.Terms.size(); ++Position) {
+    const Term &T = A.Terms[Position];
+    if (!T.IsVar)
+      Probe[Position] = T.Value;
+    else if (Bound[T.Value])
+      Probe[Position] = Env[T.Value];
+  }
+  uint64_t Key = hashBound(Probe, Mask);
+  // Note: getIndex may rehash Indexes, so finish using one index before
+  // requesting another (the recursion does request others — therefore we
+  // copy the candidate list out first).
+  std::vector<uint32_t> Candidates;
+  {
+    const JoinIndex &Index = getIndex(A.RelationIndex, Mask);
+    auto [Begin, End] = Index.Map.equal_range(Key);
+    for (auto It = Begin; It != End; ++It)
+      if (It->second >= RangeBegin && It->second < RangeEnd)
+        Candidates.push_back(It->second);
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(Candidates.begin(), Candidates.end());
+  for (uint32_t TupleIndex : Candidates)
+    TryTuple(TupleIndex);
+}
+
+EngineStats Engine::run(uint64_t MaxTuplesBudget) {
+  MaxTuples = MaxTuplesBudget;
+  EngineStats Stats;
+
+#ifndef NDEBUG
+  for (const Rule &R : Rules)
+    for (const Atom &A : R.Body)
+      assert((!A.Negated || !Intensional[A.RelationIndex]) &&
+             "negation is only supported on extensional relations");
+#endif
+
+  TotalTuples = 0;
+  for (const Relation &Rel : Relations)
+    TotalTuples += Rel.size();
+
+  std::vector<uint32_t> PrevSize(Relations.size(), 0);
+  bool FirstRound = true;
+  bool Changed = true;
+  while (Changed && TotalTuples <= MaxTuples) {
+    Changed = false;
+    ++Stats.Rounds;
+
+    std::vector<uint32_t> DeltaBegin(Relations.size());
+    std::vector<uint32_t> DeltaEnd(Relations.size());
+    for (size_t Index = 0; Index < Relations.size(); ++Index) {
+      DeltaBegin[Index] = FirstRound ? 0 : PrevSize[Index];
+      DeltaEnd[Index] = Relations[Index].size();
+      PrevSize[Index] = Relations[Index].size();
+    }
+
+    for (const Rule &RuleRef : Rules) {
+      uint32_t Vars = numVars(RuleRef);
+      std::vector<uint32_t> Env(Vars, 0);
+      std::vector<bool> Bound(Vars, false);
+
+      // Collect the positive intensional atoms: semi-naive evaluation runs
+      // the rule once per such atom, with that atom restricted to its delta.
+      std::vector<int> IdbAtoms;
+      for (size_t AtomIndex = 0; AtomIndex < RuleRef.Body.size(); ++AtomIndex) {
+        const Atom &A = RuleRef.Body[AtomIndex];
+        if (!A.Negated && Intensional[A.RelationIndex])
+          IdbAtoms.push_back(static_cast<int>(AtomIndex));
+      }
+
+      if (FirstRound || IdbAtoms.empty()) {
+        // Evaluate with every atom at its full extent.  Rules without
+        // intensional body atoms can never fire again after the first
+        // round (their inputs are frozen).
+        if (FirstRound)
+          matchAtoms(RuleRef, 0, /*DeltaAtom=*/-1, 0, 0, Env, Bound, Changed);
+        continue;
+      }
+      for (int DeltaAtom : IdbAtoms) {
+        uint32_t RelIndex = RuleRef.Body[DeltaAtom].RelationIndex;
+        if (DeltaBegin[RelIndex] == DeltaEnd[RelIndex])
+          continue; // Empty delta: nothing new can fire through this atom.
+        matchAtoms(RuleRef, 0, DeltaAtom, DeltaBegin[RelIndex],
+                   DeltaEnd[RelIndex], Env, Bound, Changed);
+      }
+    }
+    FirstRound = false;
+  }
+
+  Stats.TuplesDerived = TotalTuples;
+  Stats.BudgetExceeded = TotalTuples > MaxTuples;
+  return Stats;
+}

@@ -1,0 +1,71 @@
+//===- datalog/Relation.h - Datalog relations -------------------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Datalog relation: a deduplicated, insertion-ordered set of fixed-arity
+/// tuples over uint32_t.  Insertion order doubles as the semi-naive "delta"
+/// structure — tuples appended after a watermark are exactly the facts
+/// derived in the previous round.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATALOG_RELATION_H
+#define DATALOG_RELATION_H
+
+#include "support/TupleInterner.h"
+
+#include <cassert>
+#include <span>
+#include <string>
+
+namespace intro::datalog {
+
+/// A set of same-arity tuples with dense insertion-order handles.
+class Relation {
+public:
+  Relation(std::string Name, uint32_t Arity)
+      : Name(std::move(Name)), Arity(Arity) {}
+
+  const std::string &name() const { return Name; }
+  uint32_t arity() const { return Arity; }
+
+  /// Inserts \p Tuple. \returns true if it was new.
+  bool insert(std::span<const uint32_t> Tuple) {
+    assert(Tuple.size() == Arity && "tuple arity mismatch");
+    size_t Before = Tuples.size();
+    Tuples.intern(Tuple);
+    bool Inserted = Tuples.size() != Before;
+    Version += Inserted;
+    return Inserted;
+  }
+
+  /// \returns true if \p Tuple is present.
+  bool contains(std::span<const uint32_t> Tuple) const {
+    assert(Tuple.size() == Arity && "tuple arity mismatch");
+    return Tuples.find(Tuple) != TupleInterner::NotFound;
+  }
+
+  /// Number of tuples.
+  uint32_t size() const { return static_cast<uint32_t>(Tuples.size()); }
+
+  /// \returns tuple number \p Index (insertion order).
+  std::span<const uint32_t> tuple(uint32_t Index) const {
+    return Tuples.elements(Index);
+  }
+
+  /// Monotone change counter, used to invalidate join indexes.
+  uint64_t version() const { return Version; }
+
+private:
+  std::string Name;
+  uint32_t Arity;
+  uint64_t Version = 0;
+  TupleInterner Tuples;
+};
+
+} // namespace intro::datalog
+
+#endif // DATALOG_RELATION_H

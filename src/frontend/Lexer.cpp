@@ -1,0 +1,113 @@
+//===- frontend/Lexer.cpp - Tokenizer for the textual IR ------------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+
+using namespace intro;
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$';
+}
+
+bool isIdentBody(char C) {
+  return isIdentStart(C) || std::isdigit(static_cast<unsigned char>(C));
+}
+
+} // namespace
+
+std::vector<Token> intro::tokenize(std::string_view Source) {
+  std::vector<Token> Tokens;
+  uint32_t Line = 1;
+  size_t Pos = 0;
+
+  auto Emit = [&](TokenKind Kind, std::string_view Text = {}) {
+    Tokens.push_back(Token{Kind, Text, Line});
+  };
+
+  while (Pos < Source.size()) {
+    char C = Source[Pos];
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Source.size() && Source[Pos + 1] == '/') {
+      while (Pos < Source.size() && Source[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (isIdentStart(C)) {
+      size_t Start = Pos;
+      while (Pos < Source.size() && isIdentBody(Source[Pos]))
+        ++Pos;
+      Emit(TokenKind::Identifier, Source.substr(Start, Pos - Start));
+      continue;
+    }
+    switch (C) {
+    case '{':
+      Emit(TokenKind::LBrace);
+      ++Pos;
+      continue;
+    case '}':
+      Emit(TokenKind::RBrace);
+      ++Pos;
+      continue;
+    case '(':
+      Emit(TokenKind::LParen);
+      ++Pos;
+      continue;
+    case ')':
+      Emit(TokenKind::RParen);
+      ++Pos;
+      continue;
+    case ',':
+      Emit(TokenKind::Comma);
+      ++Pos;
+      continue;
+    case '.':
+      Emit(TokenKind::Dot);
+      ++Pos;
+      continue;
+    case '=':
+      Emit(TokenKind::Equals);
+      ++Pos;
+      continue;
+    case '#':
+      Emit(TokenKind::Hash);
+      ++Pos;
+      continue;
+    case ':':
+      if (Pos + 1 < Source.size() && Source[Pos + 1] == ':') {
+        Emit(TokenKind::ColonColon);
+        Pos += 2;
+        continue;
+      }
+      Emit(TokenKind::Error, Source.substr(Pos, 1));
+      return Tokens;
+    case '-':
+      if (Pos + 1 < Source.size() && Source[Pos + 1] == '>') {
+        Emit(TokenKind::Arrow);
+        Pos += 2;
+        continue;
+      }
+      Emit(TokenKind::Error, Source.substr(Pos, 1));
+      return Tokens;
+    default:
+      Emit(TokenKind::Error, Source.substr(Pos, 1));
+      return Tokens;
+    }
+  }
+  Emit(TokenKind::EndOfFile);
+  return Tokens;
+}

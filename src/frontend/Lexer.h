@@ -1,0 +1,54 @@
+//===- frontend/Lexer.h - Tokenizer for the textual IR ----------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the textual IR format (see Parser.h for the grammar).
+/// Line comments start with '//'.  Identifiers may contain '$' (used by
+/// generated names like `$ret`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FRONTEND_LEXER_H
+#define FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace intro {
+
+/// Token kinds of the textual IR.
+enum class TokenKind : uint8_t {
+  Identifier, ///< Names and keywords (keywords resolved by the parser).
+  LBrace,     ///< {
+  RBrace,     ///< }
+  LParen,     ///< (
+  RParen,     ///< )
+  Equals,     ///< =
+  Dot,        ///< .
+  Comma,      ///< ,
+  Hash,       ///< #   (field qualifier: Class#field)
+  ColonColon, ///< ::  (static call: Class::method)
+  Arrow,      ///< ->  (formal return)
+  EndOfFile,
+  Error, ///< Unexpected character.
+};
+
+/// One token with its source position.
+struct Token {
+  TokenKind Kind;
+  std::string_view Text; ///< Lexeme (identifiers only).
+  uint32_t Line;         ///< 1-based source line.
+};
+
+/// Tokenizes \p Source.  The final token is always EndOfFile (or Error at
+/// the offending position).  Views point into \p Source.
+std::vector<Token> tokenize(std::string_view Source);
+
+} // namespace intro
+
+#endif // FRONTEND_LEXER_H

@@ -1,0 +1,61 @@
+//===- frontend/Parser.h - Textual IR parser --------------------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the textual IR format, a human-readable rendering of the
+/// paper's input language.  Grammar:
+///
+/// \code
+///   program   := classDecl*
+///   classDecl := "class" ID ("extends" ID)? ("{" member* "}")?
+///   member    := "field" ID
+///              | "entry"? "static"? "method" ID "(" params? ")"
+///                ("->" ID)? "{" stmt* "}"
+///   stmt      := ID "=" "new" ID                    // alloc
+///              | ID "=" "(" ID ")" ID               // cast
+///              | ID "=" ID "." ID "#" ID            // load   x = y.C#f
+///              | ID "." ID "#" ID "=" ID            // store  y.C#f = x
+///              | (ID "=")? ID "." ID "(" args? ")"  // virtual call
+///              | (ID "=")? ID "::" ID "(" args? ")" // static call C::m(..)
+///              | "return" ID                        // move into the return
+///              | ID "=" ID                          // move
+/// \endcode
+///
+/// Variables are implicitly declared on first use within a method; `this`
+/// denotes the receiver.  Fields are qualified by their declaring class
+/// (`Class#field`).  Static call targets are resolved by (class, name,
+/// arity) after the whole file is parsed, so forward references work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FRONTEND_PARSER_H
+#define FRONTEND_PARSER_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace intro {
+
+/// Result of parsing: a program plus any diagnostics.  The program is
+/// meaningful only when Errors is empty.
+struct ParseResult {
+  Program Prog;
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Parses the textual IR in \p Source.  On success, the returned program is
+/// finalized (but not validated; run ir/Validator.h if the source is
+/// untrusted).
+ParseResult parseProgram(std::string_view Source);
+
+} // namespace intro
+
+#endif // FRONTEND_PARSER_H

@@ -1,0 +1,190 @@
+//===- frontend/Printer.cpp - Textual IR printer --------------------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Printer.h"
+
+#include "ir/Program.h"
+
+#include <set>
+#include <string>
+
+using namespace intro;
+
+namespace {
+
+/// Appends `Class#field`.
+void printFieldRef(std::string &Out, const Program &Prog, FieldId Field) {
+  Out += Prog.typeName(Prog.field(Field).Owner);
+  Out += '#';
+  Out += Prog.fieldName(Field);
+}
+
+void printCall(std::string &Out, const Program &Prog, SiteId Site) {
+  const SiteInfo &Info = Prog.site(Site);
+  Out += "    ";
+  if (Info.Result.isValid()) {
+    Out += Prog.varName(Info.Result);
+    Out += " = ";
+  }
+  if (Info.IsStatic) {
+    Out += Prog.typeName(Prog.method(Info.StaticTarget).Owner);
+    Out += "::";
+    Out += Prog.methodName(Info.StaticTarget);
+  } else {
+    Out += Prog.varName(Info.Base);
+    Out += '.';
+    Out += Prog.name(Prog.signature(Info.Sig).Name);
+  }
+  Out += '(';
+  for (size_t Index = 0; Index < Info.Actuals.size(); ++Index) {
+    if (Index > 0)
+      Out += ", ";
+    Out += Prog.varName(Info.Actuals[Index]);
+  }
+  Out += ')';
+  if (Info.CatchVar.isValid()) {
+    Out += " catch (";
+    Out += Prog.typeName(Info.CatchType);
+    Out += ") ";
+    Out += Prog.varName(Info.CatchVar);
+  }
+  Out += '\n';
+}
+
+void printMethod(std::string &Out, const Program &Prog, MethodId Method,
+                 const std::set<uint32_t> &Entries) {
+  const MethodInfo &Info = Prog.method(Method);
+  Out += "  ";
+  if (Entries.count(Method.index()))
+    Out += "entry ";
+  if (Info.IsStatic)
+    Out += "static ";
+  Out += "method ";
+  Out += Prog.methodName(Method);
+  Out += '(';
+  for (size_t Index = 0; Index < Info.Formals.size(); ++Index) {
+    if (Index > 0)
+      Out += ", ";
+    Out += Prog.varName(Info.Formals[Index]);
+  }
+  Out += ')';
+  if (Info.Return.isValid()) {
+    Out += " -> ";
+    Out += Prog.varName(Info.Return);
+  }
+  Out += " {\n";
+
+  for (const Instruction &Instr : Info.Body) {
+    switch (Instr.Kind) {
+    case InstrKind::Alloc:
+      Out += "    ";
+      Out += Prog.varName(Instr.To);
+      Out += " = new ";
+      Out += Prog.typeName(Prog.heap(Instr.Heap).Type);
+      Out += '\n';
+      break;
+    case InstrKind::Move:
+      Out += "    ";
+      Out += Prog.varName(Instr.To);
+      Out += " = ";
+      Out += Prog.varName(Instr.From);
+      Out += '\n';
+      break;
+    case InstrKind::Cast:
+      Out += "    ";
+      Out += Prog.varName(Instr.To);
+      Out += " = (";
+      Out += Prog.typeName(Instr.CastType);
+      Out += ") ";
+      Out += Prog.varName(Instr.From);
+      Out += '\n';
+      break;
+    case InstrKind::Load:
+      Out += "    ";
+      Out += Prog.varName(Instr.To);
+      Out += " = ";
+      Out += Prog.varName(Instr.Base);
+      Out += '.';
+      printFieldRef(Out, Prog, Instr.Field);
+      Out += '\n';
+      break;
+    case InstrKind::Store:
+      Out += "    ";
+      Out += Prog.varName(Instr.Base);
+      Out += '.';
+      printFieldRef(Out, Prog, Instr.Field);
+      Out += " = ";
+      Out += Prog.varName(Instr.From);
+      Out += '\n';
+      break;
+    case InstrKind::SLoad:
+      Out += "    ";
+      Out += Prog.varName(Instr.To);
+      Out += " = ";
+      printFieldRef(Out, Prog, Instr.Field);
+      Out += '\n';
+      break;
+    case InstrKind::SStore:
+      Out += "    ";
+      printFieldRef(Out, Prog, Instr.Field);
+      Out += " = ";
+      Out += Prog.varName(Instr.From);
+      Out += '\n';
+      break;
+    case InstrKind::Throw:
+      Out += "    throw ";
+      Out += Prog.varName(Instr.From);
+      Out += '\n';
+      break;
+    case InstrKind::Call:
+      printCall(Out, Prog, Instr.Site);
+      break;
+    }
+  }
+  Out += "  }\n";
+}
+
+} // namespace
+
+std::string intro::printProgram(const Program &Prog) {
+  std::set<uint32_t> Entries;
+  for (MethodId Entry : Prog.entries())
+    Entries.insert(Entry.index());
+
+  std::string Out;
+  for (uint32_t TypeIndex = 0; TypeIndex < Prog.numTypes(); ++TypeIndex) {
+    TypeId Type(TypeIndex);
+    const TypeInfo &Info = Prog.type(Type);
+    Out += "class ";
+    Out += Prog.typeName(Type);
+    if (Info.Super.isValid()) {
+      Out += " extends ";
+      Out += Prog.typeName(Info.Super);
+    }
+
+    // Methods are stored program-wide; collect this class's.
+    std::vector<MethodId> Methods;
+    for (uint32_t MethodIndex = 0; MethodIndex < Prog.numMethods();
+         ++MethodIndex)
+      if (Prog.method(MethodId(MethodIndex)).Owner == Type)
+        Methods.push_back(MethodId(MethodIndex));
+
+    if (Info.Fields.empty() && Methods.empty()) {
+      Out += '\n';
+      continue;
+    }
+    Out += " {\n";
+    for (FieldId Field : Info.Fields) {
+      Out += "  field ";
+      Out += Prog.fieldName(Field);
+      Out += '\n';
+    }
+    for (MethodId Method : Methods)
+      printMethod(Out, Prog, Method, Entries);
+    Out += "}\n";
+  }
+  return Out;
+}

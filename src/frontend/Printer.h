@@ -1,0 +1,28 @@
+//===- frontend/Printer.h - Textual IR printer ------------------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints a Program in the textual IR format accepted by frontend/Parser.h.
+/// printProgram . parseProgram is the identity on the format (tested by the
+/// frontend round-trip suite).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FRONTEND_PRINTER_H
+#define FRONTEND_PRINTER_H
+
+#include <string>
+
+namespace intro {
+
+class Program;
+
+/// Renders \p Prog as parseable textual IR.
+std::string printProgram(const Program &Prog);
+
+} // namespace intro
+
+#endif // FRONTEND_PRINTER_H

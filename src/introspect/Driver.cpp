@@ -1,0 +1,59 @@
+//===- introspect/Driver.cpp - Two-pass introspective analysis ------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "introspect/Driver.h"
+
+#include "ir/Program.h"
+#include "support/Timer.h"
+
+using namespace intro;
+
+IntrospectiveOutcome
+intro::runIntrospective(const Program &Prog,
+                        const ContextPolicy &RefinedPolicy,
+                        const IntrospectiveOptions &Options) {
+  IntrospectiveOutcome Out;
+  auto Insensitive = makeInsensitivePolicy();
+
+  // Pass 1: context-insensitive, with SITETOREFINE/OBJECTTOREFINE empty.
+  {
+    Timer Clock;
+    ContextTable Table;
+    SolverOptions SolverOpts;
+    SolverOpts.Budget = Options.FirstPassBudget;
+    Out.FirstPass = solvePointsTo(Prog, *Insensitive, Table, SolverOpts);
+    Out.FirstPassSeconds = Clock.seconds();
+  }
+
+  // Introspection: query the first pass for the elements to not refine.
+  {
+    Timer Clock;
+    Out.Metrics = computeIntrospectionMetrics(Prog, Out.FirstPass);
+    Out.Exceptions =
+        Options.Heuristic == HeuristicKind::A
+            ? applyHeuristicA(Prog, Out.FirstPass, Out.Metrics,
+                              Options.ParamsA)
+            : applyHeuristicB(Prog, Out.FirstPass, Out.Metrics,
+                              Options.ParamsB);
+    Out.Stats = computeRefinementStats(Prog, Out.FirstPass, Out.Exceptions);
+    Out.MetricSeconds = Clock.seconds();
+  }
+
+  // Pass 2: identical analysis code, refinement exceptions installed.
+  {
+    std::string Name = RefinedPolicy.name();
+    Name += Options.Heuristic == HeuristicKind::A ? "-IntroA" : "-IntroB";
+    auto Policy = makeIntrospectivePolicy(std::move(Name), *Insensitive,
+                                          RefinedPolicy, Out.Exceptions);
+    Timer Clock;
+    ContextTable Table;
+    SolverOptions SolverOpts;
+    SolverOpts.Budget = Options.SecondPassBudget;
+    Out.SecondPass = solvePointsTo(Prog, *Policy, Table, SolverOpts);
+    Out.SecondPassSeconds = Clock.seconds();
+  }
+  return Out;
+}

@@ -1,0 +1,66 @@
+//===- introspect/Driver.h - Two-pass introspective analysis ----*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end introspective analysis of the paper: run the program
+/// context-insensitively, query the result with a heuristic to find the
+/// elements whose refinement would explode, then re-run the *identical*
+/// analysis with the refinement exceptions installed in the context policy.
+///
+/// This is the library's flagship entry point:
+/// \code
+///   IntrospectiveOptions Options;
+///   Options.Heuristic = HeuristicKind::A;
+///   auto Refined = makeObjectPolicy(Prog, 2, 1);
+///   IntrospectiveOutcome Out = runIntrospective(Prog, *Refined, Options);
+///   // Out.SecondPass is a scalable 2objH-IntroA result.
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INTROSPECT_DRIVER_H
+#define INTROSPECT_DRIVER_H
+
+#include "analysis/Solver.h"
+#include "introspect/Heuristics.h"
+
+namespace intro {
+
+/// Options for an introspective run.
+struct IntrospectiveOptions {
+  HeuristicKind Heuristic = HeuristicKind::A;
+  HeuristicAParams ParamsA;
+  HeuristicBParams ParamsB;
+  /// Budget for the cheap context-insensitive first pass.
+  SolveBudget FirstPassBudget;
+  /// Budget for the refined second pass (the paper's 90-min timeout).
+  SolveBudget SecondPassBudget;
+};
+
+/// Everything an introspective run produces.
+struct IntrospectiveOutcome {
+  PointsToResult FirstPass;  ///< The context-insensitive pre-analysis.
+  PointsToResult SecondPass; ///< The introspectively refined analysis.
+  IntrospectionMetrics Metrics;
+  RefinementExceptions Exceptions;
+  RefinementStats Stats;      ///< Figure 4-style exclusion shares.
+  double FirstPassSeconds = 0;
+  double MetricSeconds = 0;   ///< Cost of computing metrics + heuristics.
+  double SecondPassSeconds = 0;
+};
+
+/// Runs the full two-pass introspective analysis of \p Prog, refining with
+/// \p RefinedPolicy (e.g. 2objH) everywhere except at the heuristic-selected
+/// exceptions, which stay context-insensitive.
+///
+/// The second pass's analysis name is "<refined>-IntroA" or "-IntroB".
+IntrospectiveOutcome
+runIntrospective(const Program &Prog, const ContextPolicy &RefinedPolicy,
+                 const IntrospectiveOptions &Options = IntrospectiveOptions());
+
+} // namespace intro
+
+#endif // INTROSPECT_DRIVER_H

@@ -1,0 +1,124 @@
+//===- ir/Facts.cpp - Doop-style input relation extraction ----------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Facts.h"
+
+#include "ir/Program.h"
+
+#include <set>
+
+using namespace intro;
+
+ProgramFacts intro::extractFacts(const Program &Prog) {
+  ProgramFacts Facts;
+
+  for (uint32_t MethodIndex = 0; MethodIndex < Prog.numMethods();
+       ++MethodIndex) {
+    MethodId Method(MethodIndex);
+    const MethodInfo &Info = Prog.method(Method);
+
+    if (!Info.IsStatic)
+      Facts.ThisVar.push_back({MethodIndex, Info.This.raw()});
+    for (uint32_t Index = 0; Index < Info.Formals.size(); ++Index)
+      Facts.FormalArg.push_back(
+          {MethodIndex, Index, Info.Formals[Index].raw()});
+    if (Info.Return.isValid())
+      Facts.FormalReturn.push_back({MethodIndex, Info.Return.raw()});
+
+    for (const Instruction &Instr : Info.Body) {
+      switch (Instr.Kind) {
+      case InstrKind::Alloc:
+        Facts.Alloc.push_back(
+            {Instr.To.raw(), Instr.Heap.raw(), MethodIndex});
+        break;
+      case InstrKind::Move:
+        Facts.Move.push_back({Instr.To.raw(), Instr.From.raw()});
+        break;
+      case InstrKind::Cast:
+        Facts.Cast.push_back(
+            {Instr.To.raw(), Instr.From.raw(), Instr.CastType.raw()});
+        break;
+      case InstrKind::Load:
+        Facts.Load.push_back(
+            {Instr.To.raw(), Instr.Base.raw(), Instr.Field.raw()});
+        break;
+      case InstrKind::Store:
+        Facts.Store.push_back(
+            {Instr.Base.raw(), Instr.Field.raw(), Instr.From.raw()});
+        break;
+      case InstrKind::SLoad:
+        Facts.SLoad.push_back(
+            {Instr.To.raw(), Instr.Field.raw(), MethodIndex});
+        break;
+      case InstrKind::SStore:
+        Facts.SStore.push_back({Instr.Field.raw(), Instr.From.raw()});
+        break;
+      case InstrKind::Throw:
+        Facts.Throw.push_back({Instr.From.raw(), MethodIndex});
+        break;
+      case InstrKind::Call:
+        break; // Emitted from the site table below.
+      }
+    }
+  }
+
+  std::set<uint32_t> UsedSigs;
+  for (uint32_t SiteIndex = 0; SiteIndex < Prog.numSites(); ++SiteIndex) {
+    SiteId Site(SiteIndex);
+    const SiteInfo &Info = Prog.site(Site);
+    if (Info.IsStatic)
+      Facts.SCall.push_back(
+          {Info.StaticTarget.raw(), SiteIndex, Info.InMethod.raw()});
+    else {
+      Facts.VCall.push_back({Info.Base.raw(), Info.Sig.raw(), SiteIndex,
+                             Info.InMethod.raw()});
+      UsedSigs.insert(Info.Sig.raw());
+    }
+    for (uint32_t Index = 0; Index < Info.Actuals.size(); ++Index)
+      Facts.ActualArg.push_back(
+          {SiteIndex, Index, Info.Actuals[Index].raw()});
+    if (Info.Result.isValid())
+      Facts.ActualReturn.push_back({SiteIndex, Info.Result.raw()});
+    Facts.SiteInMethod.push_back({SiteIndex, Info.InMethod.raw()});
+    if (Info.CatchVar.isValid())
+      Facts.Catch.push_back(
+          {SiteIndex, Info.CatchType.raw(), Info.CatchVar.raw()});
+    else
+      Facts.NoCatch.push_back(SiteIndex);
+  }
+
+  std::set<uint32_t> HeapTypes;
+  for (uint32_t HeapIndex = 0; HeapIndex < Prog.numHeaps(); ++HeapIndex) {
+    Facts.HeapType.push_back(
+        {HeapIndex, Prog.heap(HeapId(HeapIndex)).Type.raw()});
+    HeapTypes.insert(Prog.heap(HeapId(HeapIndex)).Type.raw());
+  }
+
+  // LOOKUP restricted to (heap type, used signature) pairs that resolve.
+  for (uint32_t TypeRaw : HeapTypes)
+    for (uint32_t SigRaw : UsedSigs) {
+      MethodId Target = Prog.lookup(TypeId(TypeRaw), SigId(SigRaw));
+      if (Target.isValid())
+        Facts.Lookup.push_back({TypeRaw, SigRaw, Target.raw()});
+    }
+
+  // SUBTYPE restricted to (heap type, cast-target or catch type) pairs
+  // that hold.
+  std::set<uint32_t> FilterTypes;
+  for (const auto &Cast : Facts.Cast)
+    FilterTypes.insert(Cast[2]);
+  for (const auto &CatchTuple : Facts.Catch)
+    FilterTypes.insert(CatchTuple[1]);
+  for (uint32_t TypeRaw : HeapTypes)
+    for (uint32_t TargetRaw : FilterTypes)
+      if (Prog.isSubtypeOf(TypeId(TypeRaw), TypeId(TargetRaw)))
+        Facts.Subtype.push_back({TypeRaw, TargetRaw});
+
+  for (MethodId Entry : Prog.entries())
+    Facts.EntryMethods.push_back(Entry.raw());
+
+  return Facts;
+}

@@ -1,0 +1,86 @@
+//===- ir/Facts.h - Doop-style input relation extraction --------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extracts a Program into the flat input relations of the paper's Figure 2
+/// (ALLOC, MOVE, LOAD, STORE, VCALL, FORMALARG, ..., HEAPTYPE, LOOKUP),
+/// exactly as a Doop fact generator would emit them.  These tuple tables
+/// feed the Datalog reference implementation and are handy for debugging.
+///
+/// All tuples are raw dense indices (see support/Ids.h for the id spaces).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_FACTS_H
+#define IR_FACTS_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace intro {
+
+class Program;
+
+/// The input relations of the analysis model (paper Figure 2), plus the
+/// static-call and cast extensions.
+struct ProgramFacts {
+  /// ALLOC(var, heap, inMeth)
+  std::vector<std::array<uint32_t, 3>> Alloc;
+  /// MOVE(to, from) — genuine moves only; casts are in Cast.
+  std::vector<std::array<uint32_t, 2>> Move;
+  /// CAST(to, from, type) — the cast instructions.  Under the paper's model
+  /// a cast flows like a move; under Doop-style checked-cast semantics it
+  /// filters by SUBTYPE.
+  std::vector<std::array<uint32_t, 3>> Cast;
+  /// SUBTYPE(sub, super), restricted to pairs of (heap type, cast target
+  /// type) that are actually in the subtype relation.
+  std::vector<std::array<uint32_t, 2>> Subtype;
+  /// LOAD(to, base, fld)
+  std::vector<std::array<uint32_t, 3>> Load;
+  /// STORE(base, fld, from)
+  std::vector<std::array<uint32_t, 3>> Store;
+  /// SLOAD(to, fld, inMeth) — static-field load.
+  std::vector<std::array<uint32_t, 3>> SLoad;
+  /// SSTORE(fld, from) — static-field store.
+  std::vector<std::array<uint32_t, 2>> SStore;
+  /// THROW(var, meth) — `throw var` in meth.
+  std::vector<std::array<uint32_t, 2>> Throw;
+  /// SITEINMETHOD(invo, meth) — enclosing method of every call site.
+  std::vector<std::array<uint32_t, 2>> SiteInMethod;
+  /// CATCH(invo, type, var) — catch clause of a call site.
+  std::vector<std::array<uint32_t, 3>> Catch;
+  /// NOCATCH(invo) — call sites without a catch clause.
+  std::vector<uint32_t> NoCatch;
+  /// VCALL(base, sig, invo, inMeth)
+  std::vector<std::array<uint32_t, 4>> VCall;
+  /// SCALL(meth, invo, inMeth) — static calls with a fixed target.
+  std::vector<std::array<uint32_t, 3>> SCall;
+  /// FORMALARG(meth, i, arg)
+  std::vector<std::array<uint32_t, 3>> FormalArg;
+  /// ACTUALARG(invo, i, arg)
+  std::vector<std::array<uint32_t, 3>> ActualArg;
+  /// FORMALRETURN(meth, ret)
+  std::vector<std::array<uint32_t, 2>> FormalReturn;
+  /// ACTUALRETURN(invo, var)
+  std::vector<std::array<uint32_t, 2>> ActualReturn;
+  /// THISVAR(meth, this)
+  std::vector<std::array<uint32_t, 2>> ThisVar;
+  /// HEAPTYPE(heap, type)
+  std::vector<std::array<uint32_t, 2>> HeapType;
+  /// LOOKUP(type, sig, meth), restricted to types that occur as heap types
+  /// and signatures that occur at virtual call sites.
+  std::vector<std::array<uint32_t, 3>> Lookup;
+  /// Entry methods (seed of REACHABLE).
+  std::vector<uint32_t> EntryMethods;
+};
+
+/// Extracts the input relations of \p Prog.  The program must be finalized.
+ProgramFacts extractFacts(const Program &Prog);
+
+} // namespace intro
+
+#endif // IR_FACTS_H

@@ -1,0 +1,126 @@
+//===- ir/Instruction.h - IR instruction representation ---------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instructions of the simplified object-oriented intermediate language from
+/// Section 2 of the paper: allocation, move, heap load/store, and virtual
+/// method call, extended with casts (needed for the "casts that may fail"
+/// precision metric) and static calls (present in the full Doop model).
+///
+/// The language is flow-insensitive: a method body is an unordered set of
+/// instructions, which we store as a vector for determinism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_INSTRUCTION_H
+#define IR_INSTRUCTION_H
+
+#include "support/Ids.h"
+
+namespace intro {
+
+/// Discriminates the instruction kinds of the input language.
+enum class InstrKind : uint8_t {
+  Alloc,  ///< var = new T            (paper: ALLOC)
+  Move,   ///< to = from              (paper: MOVE)
+  Cast,   ///< to = (T) from          (dataflow-wise a MOVE; tracked for the
+          ///< cast-may-fail precision client)
+  Load,   ///< to = base.fld          (paper: LOAD)
+  Store,  ///< base.fld = from        (paper: STORE)
+  SLoad,  ///< to = fld               (static-field load; full-Doop core)
+  SStore, ///< fld = from             (static-field store; full-Doop core)
+  Call,   ///< base.sig(..) or T.m(..) (paper: VCALL; also static calls)
+  Throw,  ///< throw from             (exception extension, cf. paper [11])
+};
+
+/// One IR instruction.  Fields not used by a kind hold invalid ids.
+struct Instruction {
+  InstrKind Kind;
+  VarId To;        ///< Destination of Alloc/Move/Cast/Load.
+  VarId From;      ///< Source of Move/Cast/Store.
+  VarId Base;      ///< Base object variable of Load/Store.
+  FieldId Field;   ///< Field of Load/Store.
+  HeapId Heap;     ///< Allocation site of Alloc.
+  TypeId CastType; ///< Target type of Cast.
+  SiteId Site;     ///< Invocation site of Call.
+
+  static Instruction makeAlloc(VarId To, HeapId Heap) {
+    Instruction Instr{};
+    Instr.Kind = InstrKind::Alloc;
+    Instr.To = To;
+    Instr.Heap = Heap;
+    return Instr;
+  }
+
+  static Instruction makeMove(VarId To, VarId From) {
+    Instruction Instr{};
+    Instr.Kind = InstrKind::Move;
+    Instr.To = To;
+    Instr.From = From;
+    return Instr;
+  }
+
+  static Instruction makeCast(VarId To, VarId From, TypeId CastType) {
+    Instruction Instr{};
+    Instr.Kind = InstrKind::Cast;
+    Instr.To = To;
+    Instr.From = From;
+    Instr.CastType = CastType;
+    return Instr;
+  }
+
+  static Instruction makeLoad(VarId To, VarId Base, FieldId Field) {
+    Instruction Instr{};
+    Instr.Kind = InstrKind::Load;
+    Instr.To = To;
+    Instr.Base = Base;
+    Instr.Field = Field;
+    return Instr;
+  }
+
+  static Instruction makeStore(VarId Base, FieldId Field, VarId From) {
+    Instruction Instr{};
+    Instr.Kind = InstrKind::Store;
+    Instr.Base = Base;
+    Instr.Field = Field;
+    Instr.From = From;
+    return Instr;
+  }
+
+  static Instruction makeSLoad(VarId To, FieldId Field) {
+    Instruction Instr{};
+    Instr.Kind = InstrKind::SLoad;
+    Instr.To = To;
+    Instr.Field = Field;
+    return Instr;
+  }
+
+  static Instruction makeSStore(FieldId Field, VarId From) {
+    Instruction Instr{};
+    Instr.Kind = InstrKind::SStore;
+    Instr.Field = Field;
+    Instr.From = From;
+    return Instr;
+  }
+
+  static Instruction makeCall(SiteId Site) {
+    Instruction Instr{};
+    Instr.Kind = InstrKind::Call;
+    Instr.Site = Site;
+    return Instr;
+  }
+
+  static Instruction makeThrow(VarId From) {
+    Instruction Instr{};
+    Instr.Kind = InstrKind::Throw;
+    Instr.From = From;
+    return Instr;
+  }
+};
+
+} // namespace intro
+
+#endif // IR_INSTRUCTION_H

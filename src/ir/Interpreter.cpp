@@ -1,0 +1,249 @@
+//===- ir/Interpreter.cpp - Concrete IR execution -------------------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+
+#include <set>
+#include <unordered_map>
+
+using namespace intro;
+
+namespace {
+
+/// A concrete object: its allocation site plus field storage.  Object
+/// handles are indices into the interpreter's object table.
+struct ConcreteObject {
+  HeapId Site;
+  std::unordered_map<uint32_t, uint32_t> Fields; // FieldId raw -> object
+};
+
+constexpr uint32_t NullRef = 0xFFFFFFFFu;
+
+class Machine {
+public:
+  Machine(const Program &Prog, uint64_t MaxSteps)
+      : Prog(Prog), StepsLeft(MaxSteps) {}
+
+  DynamicFacts run() {
+    for (MethodId Entry : Prog.entries())
+      callMethod(Entry, NullRef, {});
+    finish();
+    return std::move(Facts);
+  }
+
+private:
+  uint32_t allocate(HeapId Site) {
+    Objects.push_back(ConcreteObject{Site, {}});
+    return static_cast<uint32_t>(Objects.size() - 1);
+  }
+
+  void recordVar(VarId Var, uint32_t Ref) {
+    if (Ref == NullRef)
+      return;
+    SeenVarPointsTo.insert({Var.raw(), Objects[Ref].Site.raw()});
+  }
+
+  /// What one method activation produced: a return value and/or an escaping
+  /// exception (both may be null).
+  struct Outcome {
+    uint32_t Return = NullRef;
+    uint32_t Thrown = NullRef;
+  };
+
+  /// Executes \p Method with the given receiver and arguments.
+  Outcome callMethod(MethodId Method, uint32_t Receiver,
+                     const std::vector<uint32_t> &Args) {
+    // Both budgets guard against runaway recursion: StepsLeft bounds total
+    // work, Depth bounds the native stack.
+    if (StepsLeft == 0 || Depth >= MaxDepth) {
+      Facts.Truncated = true;
+      return Outcome();
+    }
+    ++Depth;
+    Outcome Result = execMethod(Method, Receiver, Args);
+    --Depth;
+    if (Result.Thrown != NullRef)
+      SeenThrows.insert({Method.raw(), Objects[Result.Thrown].Site.raw()});
+    return Result;
+  }
+
+  Outcome execMethod(MethodId Method, uint32_t Receiver,
+                     const std::vector<uint32_t> &Args) {
+    const MethodInfo &Info = Prog.method(Method);
+    SeenMethods.insert(Method.raw());
+
+    // Environment: VarId raw -> object handle.
+    std::unordered_map<uint32_t, uint32_t> Env;
+    if (!Info.IsStatic) {
+      Env[Info.This.raw()] = Receiver;
+      recordVar(Info.This, Receiver);
+    }
+    for (size_t Index = 0; Index < Info.Formals.size(); ++Index) {
+      uint32_t Value = Index < Args.size() ? Args[Index] : NullRef;
+      Env[Info.Formals[Index].raw()] = Value;
+      recordVar(Info.Formals[Index], Value);
+    }
+
+    auto Get = [&](VarId Var) {
+      auto It = Env.find(Var.raw());
+      return It == Env.end() ? NullRef : It->second;
+    };
+    auto Set = [&](VarId Var, uint32_t Value) {
+      Env[Var.raw()] = Value;
+      recordVar(Var, Value);
+    };
+
+    for (const Instruction &Instr : Info.Body) {
+      if (StepsLeft == 0) {
+        Facts.Truncated = true;
+        break;
+      }
+      --StepsLeft;
+      switch (Instr.Kind) {
+      case InstrKind::Alloc:
+        Set(Instr.To, allocate(Instr.Heap));
+        break;
+      case InstrKind::Move:
+        Set(Instr.To, Get(Instr.From));
+        break;
+      case InstrKind::Cast: {
+        // A concrete cast succeeds (propagates) or fails (yields null); a
+        // failing cast models a thrown exception cutting the dataflow.
+        uint32_t Value = Get(Instr.From);
+        if (Value != NullRef &&
+            Prog.isSubtypeOf(Prog.heap(Objects[Value].Site).Type,
+                             Instr.CastType))
+          Set(Instr.To, Value);
+        else
+          Set(Instr.To, NullRef);
+        break;
+      }
+      case InstrKind::Load: {
+        uint32_t Base = Get(Instr.Base);
+        if (Base == NullRef) {
+          Set(Instr.To, NullRef);
+          break;
+        }
+        auto It = Objects[Base].Fields.find(Instr.Field.raw());
+        Set(Instr.To, It == Objects[Base].Fields.end() ? NullRef : It->second);
+        break;
+      }
+      case InstrKind::Store: {
+        uint32_t Base = Get(Instr.Base);
+        uint32_t Value = Get(Instr.From);
+        if (Base == NullRef || Value == NullRef)
+          break;
+        Objects[Base].Fields[Instr.Field.raw()] = Value;
+        SeenFieldPointsTo.insert(
+            {Objects[Base].Site.raw(),
+             {Instr.Field.raw(), Objects[Value].Site.raw()}});
+        break;
+      }
+      case InstrKind::SLoad: {
+        auto It = Globals.find(Instr.Field.raw());
+        Set(Instr.To, It == Globals.end() ? NullRef : It->second);
+        break;
+      }
+      case InstrKind::SStore: {
+        uint32_t Value = Get(Instr.From);
+        if (Value == NullRef)
+          break;
+        Globals[Instr.Field.raw()] = Value;
+        SeenStaticFields.insert(
+            {Instr.Field.raw(), Objects[Value].Site.raw()});
+        break;
+      }
+      case InstrKind::Throw: {
+        uint32_t Value = Get(Instr.From);
+        if (Value == NullRef)
+          break; // Throwing null: modeled as a no-op.
+        Outcome Thrown;
+        Thrown.Thrown = Value;
+        return Thrown;
+      }
+      case InstrKind::Call: {
+        const SiteInfo &Site = Prog.site(Instr.Site);
+        MethodId Target;
+        uint32_t Receiver2 = NullRef;
+        if (Site.IsStatic) {
+          Target = Site.StaticTarget;
+        } else {
+          Receiver2 = Get(Site.Base);
+          if (Receiver2 == NullRef)
+            break; // Null receiver: call does not happen.
+          Target = Prog.lookup(Prog.heap(Objects[Receiver2].Site).Type,
+                               Site.Sig);
+          if (!Target.isValid())
+            break; // No method matches: dispatch failure, skipped.
+        }
+        SeenCallEdges.insert({Instr.Site.raw(), Target.raw()});
+        std::vector<uint32_t> CallArgs;
+        CallArgs.reserve(Site.Actuals.size());
+        for (VarId Actual : Site.Actuals)
+          CallArgs.push_back(Get(Actual));
+        Outcome Callee = callMethod(Target, Receiver2, CallArgs);
+        if (Callee.Thrown != NullRef) {
+          if (Site.CatchVar.isValid() &&
+              Prog.isSubtypeOf(Prog.heap(Objects[Callee.Thrown].Site).Type,
+                               Site.CatchType)) {
+            Set(Site.CatchVar, Callee.Thrown);
+            break; // Caught: execution continues after the call.
+          }
+          return Callee; // Uncaught: unwind this activation too.
+        }
+        if (Site.Result.isValid())
+          Set(Site.Result, Callee.Return);
+        break;
+      }
+      }
+    }
+
+    Outcome Normal;
+    if (Info.Return.isValid())
+      Normal.Return = Get(Info.Return);
+    return Normal;
+  }
+
+  void finish() {
+    for (auto [Var, Heap] : SeenVarPointsTo)
+      Facts.VarPointsTo.push_back({VarId(Var), HeapId(Heap)});
+    for (const auto &[BaseHeap, FieldAndHeap] : SeenFieldPointsTo)
+      Facts.FieldPointsTo.push_back({HeapId(BaseHeap),
+                                     FieldId(FieldAndHeap.first),
+                                     HeapId(FieldAndHeap.second)});
+    for (uint32_t Method : SeenMethods)
+      Facts.ReachedMethods.push_back(MethodId(Method));
+    for (auto [Site, Target] : SeenCallEdges)
+      Facts.CallEdges.push_back({SiteId(Site), MethodId(Target)});
+    for (auto [Field, Heap] : SeenStaticFields)
+      Facts.StaticFieldPointsTo.push_back({FieldId(Field), HeapId(Heap)});
+    for (auto [Method, Heap] : SeenThrows)
+      Facts.MethodThrows.push_back({MethodId(Method), HeapId(Heap)});
+  }
+
+  static constexpr uint32_t MaxDepth = 400;
+
+  const Program &Prog;
+  uint64_t StepsLeft;
+  uint32_t Depth = 0;
+  std::vector<ConcreteObject> Objects;
+  DynamicFacts Facts;
+  // std::set gives the deterministic output ordering for free.
+  std::set<std::pair<uint32_t, uint32_t>> SeenVarPointsTo;
+  std::set<std::pair<uint32_t, std::pair<uint32_t, uint32_t>>>
+      SeenFieldPointsTo;
+  std::set<uint32_t> SeenMethods;
+  std::set<std::pair<uint32_t, uint32_t>> SeenCallEdges;
+  std::set<std::pair<uint32_t, uint32_t>> SeenStaticFields;
+  std::set<std::pair<uint32_t, uint32_t>> SeenThrows;
+  std::unordered_map<uint32_t, uint32_t> Globals;
+};
+
+} // namespace
+
+DynamicFacts intro::interpret(const Program &Prog, uint64_t MaxSteps) {
+  return Machine(Prog, MaxSteps).run();
+}

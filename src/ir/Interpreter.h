@@ -1,0 +1,59 @@
+//===- ir/Interpreter.h - Concrete IR execution -----------------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete (dynamic) interpreter for the IR, used as a soundness oracle
+/// in property tests: every points-to fact observed during execution must be
+/// present in the result of any sound static analysis.
+///
+/// The language has no branches, so a program has a single execution trace
+/// (modulo recursion, which is cut off by a step budget).  Method bodies are
+/// executed in instruction order; loads from never-written fields yield
+/// null; calls on null receivers are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_INTERPRETER_H
+#define IR_INTERPRETER_H
+
+#include "ir/Program.h"
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace intro {
+
+/// Points-to facts observed during one concrete execution.
+struct DynamicFacts {
+  /// Each (Var, Heap) pair such that Var held an object allocated at Heap.
+  std::vector<std::pair<VarId, HeapId>> VarPointsTo;
+  /// Each (BaseHeap, Field, Heap) observed in the concrete heap.
+  std::vector<std::tuple<HeapId, FieldId, HeapId>> FieldPointsTo;
+  /// Each method that started executing.
+  std::vector<MethodId> ReachedMethods;
+  /// Each (Site, Target) dispatched at a virtual or static call.
+  std::vector<std::pair<SiteId, MethodId>> CallEdges;
+  /// Each (Field, Heap) observed in a static field.
+  std::vector<std::pair<FieldId, HeapId>> StaticFieldPointsTo;
+  /// Each (Method, Heap) such that an exception object allocated at Heap
+  /// escaped Method (thrown by it, or uncaught from a callee).
+  std::vector<std::pair<MethodId, HeapId>> MethodThrows;
+  /// True if the step budget was exhausted (trace is a prefix).
+  bool Truncated = false;
+};
+
+/// Executes \p Prog from its entry methods for at most \p MaxSteps executed
+/// instructions, recording points-to facts.
+///
+/// \returns the observed facts, deduplicated and deterministically ordered.
+DynamicFacts interpret(const Program &Prog, uint64_t MaxSteps = 100000);
+
+} // namespace intro
+
+#endif // IR_INTERPRETER_H

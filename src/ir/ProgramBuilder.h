@@ -1,0 +1,148 @@
+//===- ir/ProgramBuilder.h - Convenient IR construction ---------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fluent API for constructing Program instances in tests, examples, and
+/// the synthetic workload generator.  The builder owns the Program under
+/// construction; take() finalizes and releases it.
+///
+/// Typical usage:
+/// \code
+///   ProgramBuilder B;
+///   TypeId Object = B.cls("Object");
+///   TypeId A = B.cls("A", Object);
+///   FieldId F = B.field(A, "f");
+///   MethodBuilder Main = B.method(Object, "main", 0, /*IsStatic=*/true);
+///   B.entry(Main.id());
+///   VarId X = Main.local("x");
+///   Main.alloc(X, A);
+///   Program P = B.take();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_PROGRAMBUILDER_H
+#define IR_PROGRAMBUILDER_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace intro {
+
+class ProgramBuilder;
+
+/// Builds the variables and body of one method.  Lightweight handle; copies
+/// refer to the same underlying method.
+class MethodBuilder {
+public:
+  /// \returns the method being built.
+  MethodId id() const { return Method; }
+
+  /// \returns the `this` variable (virtual methods only).
+  VarId thisVar() const;
+
+  /// \returns the \p Index-th formal parameter.
+  VarId formal(uint32_t Index) const;
+
+  /// \returns the formal return variable, creating it on first use.
+  VarId returnVar();
+
+  /// Creates a fresh local variable named \p Name.
+  VarId local(std::string_view Name);
+
+  /// Appends `To = new Type` and \returns the fresh allocation site.
+  HeapId alloc(VarId To, TypeId Type);
+
+  /// Appends `To = From`.
+  void move(VarId To, VarId From);
+
+  /// Appends `To = (Type) From`.
+  void cast(VarId To, VarId From, TypeId Type);
+
+  /// Appends `To = Base.Field`.
+  void load(VarId To, VarId Base, FieldId Field);
+
+  /// Appends `Base.Field = From`.
+  void store(VarId Base, FieldId Field, VarId From);
+
+  /// Appends the static-field load `To = Field`.
+  void sload(VarId To, FieldId Field);
+
+  /// Appends the static-field store `Field = From`.
+  void sstore(FieldId Field, VarId From);
+
+  /// Appends `throw From`.
+  void throwStmt(VarId From);
+
+  /// Attaches a catch clause to the most recently emitted call: exceptions
+  /// of type \p Type (or a subtype) escaping the callee bind to \p Var.
+  void attachCatch(SiteId Site, TypeId Type, VarId Var);
+
+  /// Appends the virtual call `Result = Base.Name(Actuals...)`.
+  /// Pass an invalid \p Result to ignore the return value.
+  SiteId vcall(VarId Result, VarId Base, std::string_view Name,
+               const std::vector<VarId> &Actuals);
+
+  /// Appends the static call `Result = Target(Actuals...)`.
+  SiteId scall(VarId Result, MethodId Target,
+               const std::vector<VarId> &Actuals);
+
+private:
+  friend class ProgramBuilder;
+  MethodBuilder(ProgramBuilder &Parent, MethodId Method)
+      : Parent(&Parent), Method(Method) {}
+
+  ProgramBuilder *Parent;
+  MethodId Method;
+};
+
+/// Incrementally constructs a Program.
+class ProgramBuilder {
+public:
+  /// Creates a class named \p Name extending \p Super (or a hierarchy root).
+  TypeId cls(std::string_view Name, TypeId Super = TypeId::invalid());
+
+  /// Declares field \p Name in class \p Owner.
+  FieldId field(TypeId Owner, std::string_view Name);
+
+  /// Declares a method and returns a builder for its body.  Virtual methods
+  /// get a `this` variable; all methods get \p Arity formal parameters
+  /// (named p0, p1, ...).
+  MethodBuilder method(TypeId Owner, std::string_view Name, uint32_t Arity,
+                       bool IsStatic = false);
+
+  /// Like method(), with explicit formal parameter names and (optionally) a
+  /// named formal-return variable (empty = none yet).  Used by the frontend,
+  /// which must preserve source names.
+  MethodBuilder methodNamed(TypeId Owner, std::string_view Name,
+                            const std::vector<std::string> &ParamNames,
+                            bool IsStatic, std::string_view ReturnName);
+
+  /// Marks \p Method as an entry point.
+  void entry(MethodId Method) { Prog.addEntry(Method); }
+
+  /// \returns a builder handle for an already-declared method.
+  MethodBuilder bodyOf(MethodId Method) { return MethodBuilder(*this, Method); }
+
+  /// Read access to the program under construction.
+  const Program &current() const { return Prog; }
+
+  /// Finalizes and releases the program.  The builder must not be used
+  /// afterwards.
+  Program take();
+
+private:
+  friend class MethodBuilder;
+  Program Prog;
+  uint32_t NextHeapIndex = 0;
+  uint32_t NextSiteIndex = 0;
+};
+
+} // namespace intro
+
+#endif // IR_PROGRAMBUILDER_H

@@ -1,0 +1,134 @@
+//===- ir/SouffleExport.cpp - Souffle program emission --------------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/SouffleExport.h"
+
+#include <ostream>
+
+using namespace intro;
+
+void intro::writeSouffleProgram(std::ostream &Out) {
+  Out << R"(// Context-insensitive points-to analysis with on-the-fly
+// call-graph construction -- the first pass of introspective
+// context-sensitivity (Smaragdakis, Kastrinis, Balatsouras, PLDI 2014).
+//
+// Consumes the .facts directory written by writeFactsDirectory():
+//   souffle -F <factsdir> -D <outdir> program.dl
+
+.type Var <: symbol
+.type Heap <: symbol
+.type Method <: symbol
+.type Field <: symbol
+.type Type <: symbol
+.type Sig <: symbol
+.type Site <: symbol
+
+// --- Input relations (Figure 2, insensitive projection) ---------------------
+.decl Alloc(var: Var, heap: Heap, inMeth: Method)
+.input Alloc
+.decl Move(to: Var, from: Var)
+.input Move
+.decl Cast(to: Var, from: Var, type: Type)
+.input Cast
+.decl Load(to: Var, base: Var, fld: Field)
+.input Load
+.decl Store(base: Var, fld: Field, from: Var)
+.input Store
+.decl SLoad(to: Var, fld: Field, inMeth: Method)
+.input SLoad
+.decl SStore(fld: Field, from: Var)
+.input SStore
+.decl VCall(base: Var, sig: Sig, invo: Site, inMeth: Method)
+.input VCall
+.decl SCall(meth: Method, invo: Site, inMeth: Method)
+.input SCall
+.decl FormalArg(meth: Method, i: number, arg: Var)
+.input FormalArg
+.decl ActualArg(invo: Site, i: number, arg: Var)
+.input ActualArg
+.decl FormalReturn(meth: Method, ret: Var)
+.input FormalReturn
+.decl ActualReturn(invo: Site, var: Var)
+.input ActualReturn
+.decl ThisVar(meth: Method, this_: Var)
+.input ThisVar
+.decl HeapType(heap: Heap, type: Type)
+.input HeapType
+.decl Lookup(type: Type, sig: Sig, meth: Method)
+.input Lookup
+.decl Subtype(sub: Type, super: Type)
+.input Subtype
+.decl Throw(var: Var, meth: Method)
+.input Throw
+.decl SiteInMethod(invo: Site, meth: Method)
+.input SiteInMethod
+.decl Catch(invo: Site, type: Type, var: Var)
+.input Catch
+.decl NoCatch(invo: Site)
+.input NoCatch
+.decl EntryMethod(meth: Method)
+.input EntryMethod
+
+// --- Computed relations ------------------------------------------------------
+.decl VarPointsTo(var: Var, heap: Heap)
+.output VarPointsTo
+.decl FldPointsTo(baseH: Heap, fld: Field, heap: Heap)
+.output FldPointsTo
+.decl SFldPointsTo(fld: Field, heap: Heap)
+.output SFldPointsTo
+.decl CallGraph(invo: Site, meth: Method)
+.output CallGraph
+.decl Reachable(meth: Method)
+.output Reachable
+.decl InterProcAssign(to: Var, from: Var)
+.decl ThrowPointsTo(meth: Method, heap: Heap)
+.output ThrowPointsTo
+
+// --- Rules (Figure 3, insensitive projection) --------------------------------
+Reachable(m) :- EntryMethod(m).
+
+VarPointsTo(v, h) :- Reachable(m), Alloc(v, h, m).
+VarPointsTo(t, h) :- Move(t, f), VarPointsTo(f, h).
+// Casts flow like moves in the paper's model; swap in the commented rule
+// for Doop CheckCast semantics.
+VarPointsTo(t, h) :- Cast(t, f, _), VarPointsTo(f, h).
+// VarPointsTo(t, h) :- Cast(t, f, type), VarPointsTo(f, h),
+//                      HeapType(h, ht), Subtype(ht, type).
+VarPointsTo(t, h) :- InterProcAssign(t, f), VarPointsTo(f, h).
+VarPointsTo(t, h) :- Load(t, b, fld), VarPointsTo(b, bh),
+                     FldPointsTo(bh, fld, h).
+FldPointsTo(bh, fld, h) :- Store(b, fld, f), VarPointsTo(f, h),
+                           VarPointsTo(b, bh).
+SFldPointsTo(fld, h) :- SStore(fld, f), VarPointsTo(f, h).
+VarPointsTo(t, h) :- SLoad(t, fld, m), Reachable(m), SFldPointsTo(fld, h).
+
+Reachable(tm),
+VarPointsTo(this_, h),
+CallGraph(invo, tm) :-
+    VCall(base, sig, invo, im), Reachable(im), VarPointsTo(base, h),
+    HeapType(h, ht), Lookup(ht, sig, tm), ThisVar(tm, this_).
+
+Reachable(tm),
+CallGraph(invo, tm) :-
+    SCall(tm, invo, im), Reachable(im).
+
+InterProcAssign(to, from) :-
+    CallGraph(invo, m), FormalArg(m, i, to), ActualArg(invo, i, from).
+InterProcAssign(to, from) :-
+    CallGraph(invo, m), FormalReturn(m, from), ActualReturn(invo, to).
+
+ThrowPointsTo(m, h) :- Throw(v, m), VarPointsTo(v, h).
+ThrowPointsTo(cm, h) :-
+    ThrowPointsTo(tm, h), CallGraph(invo, tm), SiteInMethod(invo, cm),
+    NoCatch(invo).
+VarPointsTo(cv, h) :-
+    ThrowPointsTo(tm, h), CallGraph(invo, tm), Catch(invo, type, cv),
+    HeapType(h, ht), Subtype(ht, type).
+ThrowPointsTo(cm, h) :-
+    ThrowPointsTo(tm, h), CallGraph(invo, tm), SiteInMethod(invo, cm),
+    Catch(invo, type, _), HeapType(h, ht), !Subtype(ht, type).
+)";
+}

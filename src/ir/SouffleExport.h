@@ -1,0 +1,36 @@
+//===- ir/SouffleExport.h - Souffle program emission ------------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits the core analysis as a Souffle Datalog program that consumes the
+/// `.facts` directory written by ir/FactsIO.h: relation declarations with
+/// `.input` directives matching the exported TSV files, plus the
+/// context-insensitive points-to rules (the first pass of introspective
+/// analysis).  This lets the inputs be cross-checked on an independent,
+/// external Datalog engine.
+///
+/// Only the insensitive analysis is emitted: the context-sensitive
+/// variants need the RECORD/MERGE constructor functors, which have no
+/// portable Souffle rendering (they are LogicBlox-style functional
+/// predicates; in this framework they live in analysis/ContextPolicy.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_SOUFFLEEXPORT_H
+#define IR_SOUFFLEEXPORT_H
+
+#include <ostream>
+
+namespace intro {
+
+/// Writes the Souffle program (declarations, inputs, rules, outputs) to
+/// \p Out.  Pair it with writeFactsDirectory() and run:
+///   souffle -F <factsdir> -D <outdir> program.dl
+void writeSouffleProgram(std::ostream &Out);
+
+} // namespace intro
+
+#endif // IR_SOUFFLEEXPORT_H

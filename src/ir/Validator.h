@@ -1,0 +1,31 @@
+//===- ir/Validator.h - Structural IR well-formedness -----------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the structural invariants every Program must satisfy before it is
+/// analyzed: variables are used only inside their owning method, call-site
+/// arities match signatures, entries exist, and so on.  Returns messages
+/// rather than aborting, so the frontend can report user errors gracefully.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_VALIDATOR_H
+#define IR_VALIDATOR_H
+
+#include <string>
+#include <vector>
+
+namespace intro {
+
+class Program;
+
+/// Validates \p Prog.  \returns one human-readable message per violation;
+/// empty means the program is well formed.
+std::vector<std::string> validateProgram(const Program &Prog);
+
+} // namespace intro
+
+#endif // IR_VALIDATOR_H

@@ -1,0 +1,103 @@
+//===- support/Ids.h - Strongly typed dense identifiers --------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly typed wrappers around dense 32-bit indices.
+///
+/// Every entity in the analysis (variables, heap allocation sites, methods,
+/// fields, types, invocation sites, contexts, ...) is identified by a dense
+/// index into a per-kind table.  Using a distinct C++ type per entity kind
+/// makes it impossible to pass, say, a variable id where a method id is
+/// expected, at zero runtime cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_IDS_H
+#define SUPPORT_IDS_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+
+namespace intro {
+
+/// A strongly typed dense identifier.
+///
+/// \tparam Tag an empty struct that distinguishes id kinds at compile time.
+template <typename Tag> class Id {
+public:
+  /// Sentinel encoding "no entity".
+  static constexpr uint32_t InvalidIndex = 0xFFFFFFFFu;
+
+  constexpr Id() = default;
+  constexpr explicit Id(uint32_t Index) : Index(Index) {}
+
+  /// \returns the invalid sentinel id.
+  static constexpr Id invalid() { return Id(); }
+
+  /// \returns true if this id refers to an actual entity.
+  constexpr bool isValid() const { return Index != InvalidIndex; }
+
+  /// \returns the underlying dense index; the id must be valid.
+  constexpr uint32_t index() const {
+    assert(isValid() && "querying index of invalid id");
+    return Index;
+  }
+
+  /// \returns the raw representation, valid or not.
+  constexpr uint32_t raw() const { return Index; }
+
+  friend constexpr bool operator==(Id A, Id B) { return A.Index == B.Index; }
+  friend constexpr bool operator!=(Id A, Id B) { return A.Index != B.Index; }
+  friend constexpr bool operator<(Id A, Id B) { return A.Index < B.Index; }
+
+private:
+  uint32_t Index = InvalidIndex;
+};
+
+struct VarTag {};
+struct HeapTag {};
+struct MethodTag {};
+struct FieldTag {};
+struct TypeTag {};
+struct SigTag {};
+struct SiteTag {};
+struct InstrTag {};
+struct CtxTag {};
+struct HCtxTag {};
+
+/// A local program variable.
+using VarId = Id<VarTag>;
+/// A heap object, abstracted as its allocation site.
+using HeapId = Id<HeapTag>;
+/// A method definition.
+using MethodId = Id<MethodTag>;
+/// An instance field.
+using FieldId = Id<FieldTag>;
+/// A class type.
+using TypeId = Id<TypeTag>;
+/// A method signature (name plus arity), the unit of virtual dispatch.
+using SigId = Id<SigTag>;
+/// A method invocation site.
+using SiteId = Id<SiteTag>;
+/// An instruction within a method body.
+using InstrId = Id<InstrTag>;
+/// A calling context (element of the paper's set C).
+using CtxId = Id<CtxTag>;
+/// A heap context (element of the paper's set HC).
+using HCtxId = Id<HCtxTag>;
+
+} // namespace intro
+
+namespace std {
+template <typename Tag> struct hash<intro::Id<Tag>> {
+  size_t operator()(intro::Id<Tag> Id) const noexcept {
+    return std::hash<uint32_t>()(Id.raw());
+  }
+};
+} // namespace std
+
+#endif // SUPPORT_IDS_H

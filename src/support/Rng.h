@@ -1,0 +1,78 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, fully deterministic xorshift128+ generator.
+///
+/// The synthetic workload generator must produce identical programs for
+/// identical seeds on every platform, so we avoid std::mt19937 distribution
+/// functions (whose results are implementation-defined for some adapters)
+/// and implement the few draws we need directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_RNG_H
+#define SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace intro {
+
+/// Deterministic xorshift128+ pseudo-random number generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // SplitMix64 seeding, as recommended for xorshift-family generators.
+    State0 = splitMix(Seed);
+    State1 = splitMix(Seed);
+  }
+
+  /// \returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    uint64_t S1 = State0;
+    uint64_t S0 = State1;
+    uint64_t Result = S0 + S1;
+    State0 = S0;
+    S1 ^= S1 << 23;
+    State1 = S1 ^ S0 ^ (S1 >> 18) ^ (S0 >> 5);
+    return Result;
+  }
+
+  /// \returns a uniform integer in [0, Bound).  \p Bound must be positive.
+  uint32_t below(uint32_t Bound) {
+    assert(Bound > 0 && "empty range");
+    // Lemire's multiply-shift rejection-free variant is overkill here; a
+    // 64-bit multiply-high gives negligible bias for our bounds.
+    return static_cast<uint32_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// \returns a uniform integer in [Lo, Hi] inclusive.
+  uint32_t range(uint32_t Lo, uint32_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// \returns true with probability \p Permille / 1000.
+  bool chance(uint32_t Permille) { return below(1000) < Permille; }
+
+private:
+  uint64_t splitMix(uint64_t &X) {
+    X += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  uint64_t State0;
+  uint64_t State1;
+};
+
+} // namespace intro
+
+#endif // SUPPORT_RNG_H

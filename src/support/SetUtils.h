@@ -1,0 +1,66 @@
+//===- support/SetUtils.h - Sorted-vector set operations --------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Points-to sets are represented as sorted vectors of dense 32-bit handles.
+/// This header provides the handful of set operations the solver needs:
+/// membership, insertion, and "merge the delta in, returning what was new".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_SETUTILS_H
+#define SUPPORT_SETUTILS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace intro {
+
+/// A set of dense handles stored as a sorted, duplicate-free vector.
+using SortedIdSet = std::vector<uint32_t>;
+
+/// \returns true if \p Set contains \p Value.
+inline bool setContains(const SortedIdSet &Set, uint32_t Value) {
+  return std::binary_search(Set.begin(), Set.end(), Value);
+}
+
+/// Inserts \p Value into \p Set. \returns true if it was newly added.
+inline bool setInsert(SortedIdSet &Set, uint32_t Value) {
+  auto It = std::lower_bound(Set.begin(), Set.end(), Value);
+  if (It != Set.end() && *It == Value)
+    return false;
+  Set.insert(It, Value);
+  return true;
+}
+
+/// Merges sorted \p Delta into \p Set, appending the genuinely new elements
+/// to \p NewElements (which is not cleared).
+inline void setUnionInto(SortedIdSet &Set, const SortedIdSet &Delta,
+                         SortedIdSet &NewElements) {
+  if (Delta.empty())
+    return;
+  size_t FirstNew = NewElements.size();
+  std::set_difference(Delta.begin(), Delta.end(), Set.begin(), Set.end(),
+                      std::back_inserter(NewElements));
+  if (NewElements.size() == FirstNew)
+    return;
+  SortedIdSet Merged;
+  Merged.reserve(Set.size() + (NewElements.size() - FirstNew));
+  std::merge(Set.begin(), Set.end(), NewElements.begin() + FirstNew,
+             NewElements.end(), std::back_inserter(Merged));
+  Set.swap(Merged);
+}
+
+/// Sorts \p Values and removes duplicates in place.
+inline void setNormalize(SortedIdSet &Values) {
+  std::sort(Values.begin(), Values.end());
+  Values.erase(std::unique(Values.begin(), Values.end()), Values.end());
+}
+
+} // namespace intro
+
+#endif // SUPPORT_SETUTILS_H

@@ -1,0 +1,22 @@
+//===- support/StringInterner.cpp - Pooled string storage -----------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+using namespace intro;
+
+uint32_t StringInterner::intern(std::string_view Text) {
+  auto It = Index.find(Text);
+  if (It != Index.end())
+    return It->second;
+
+  uint32_t NewIndex = static_cast<uint32_t>(Storage.size());
+  Storage.emplace_back(Text);
+  // Key the map with a view into the stable std::string buffer, not into the
+  // caller's (possibly temporary) memory.
+  Index.emplace(std::string_view(Storage.back()), NewIndex);
+  return NewIndex;
+}

@@ -1,0 +1,51 @@
+//===- support/StringInterner.h - Pooled string storage ---------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings into dense 32-bit handles with stable storage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_STRINGINTERNER_H
+#define SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace intro {
+
+/// Maps strings to dense indices and back.
+///
+/// Interned strings live for the lifetime of the interner; the views returned
+/// by \ref text remain valid across later insertions.
+class StringInterner {
+public:
+  /// Interns \p Text, returning the existing index if already present.
+  uint32_t intern(std::string_view Text);
+
+  /// \returns the text of the interned string \p Index.
+  std::string_view text(uint32_t Index) const {
+    assert(Index < Storage.size() && "string index out of range");
+    return Storage[Index];
+  }
+
+  /// \returns the number of distinct interned strings.
+  size_t size() const { return Storage.size(); }
+
+private:
+  // Deque storage keeps element addresses stable across growth, so views
+  // into short (SSO) strings survive later insertions.
+  std::deque<std::string> Storage;
+  std::unordered_map<std::string_view, uint32_t> Index;
+};
+
+} // namespace intro
+
+#endif // SUPPORT_STRINGINTERNER_H

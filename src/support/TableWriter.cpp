@@ -1,0 +1,71 @@
+//===- support/TableWriter.cpp - ASCII result tables ----------------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableWriter.h"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+using namespace intro;
+
+TableWriter::TableWriter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row width mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void TableWriter::print(std::ostream &Out) const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t Col = 0; Col < Headers.size(); ++Col)
+    Widths[Col] = Headers[Col].size();
+  for (const auto &Row : Rows)
+    for (size_t Col = 0; Col < Row.size(); ++Col)
+      Widths[Col] = std::max(Widths[Col], Row[Col].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    Out << '|';
+    for (size_t Col = 0; Col < Cells.size(); ++Col) {
+      Out << ' ' << Cells[Col];
+      for (size_t Pad = Cells[Col].size(); Pad < Widths[Col]; ++Pad)
+        Out << ' ';
+      Out << " |";
+    }
+    Out << '\n';
+  };
+
+  PrintRow(Headers);
+  Out << '|';
+  for (size_t Col = 0; Col < Headers.size(); ++Col) {
+    for (size_t Pad = 0; Pad < Widths[Col] + 2; ++Pad)
+      Out << '-';
+    Out << '|';
+  }
+  Out << '\n';
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string TableWriter::num(double Value, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+  return Buffer;
+}
+
+std::string TableWriter::num(uint64_t Value) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%llu",
+                static_cast<unsigned long long>(Value));
+  return Buffer;
+}
+
+std::string TableWriter::percent(double Value) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.1f %%", Value);
+  return Buffer;
+}

@@ -1,0 +1,51 @@
+//===- support/TableWriter.h - ASCII result tables --------------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders benchmark results as aligned ASCII tables, mirroring the rows and
+/// columns of the paper's figures so that EXPERIMENTS.md can quote harness
+/// output verbatim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_TABLEWRITER_H
+#define SUPPORT_TABLEWRITER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace intro {
+
+/// Accumulates rows of string cells and prints them column-aligned.
+class TableWriter {
+public:
+  /// Creates a table with the given column \p Headers.
+  explicit TableWriter(std::vector<std::string> Headers);
+
+  /// Appends one row; must have as many cells as there are headers.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table (headers, separator, rows) to \p Out.
+  void print(std::ostream &Out) const;
+
+  /// Formats \p Value with \p Decimals fraction digits.
+  static std::string num(double Value, int Decimals = 1);
+
+  /// Formats \p Value as an integer with no grouping.
+  static std::string num(uint64_t Value);
+
+  /// Formats \p Value as a percentage with one fraction digit, e.g. "12.3 %".
+  static std::string percent(double Value);
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace intro
+
+#endif // SUPPORT_TABLEWRITER_H

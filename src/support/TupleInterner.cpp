@@ -1,0 +1,38 @@
+//===- support/TupleInterner.cpp - Interned uint32 tuples -----------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TupleInterner.h"
+
+#include <algorithm>
+
+using namespace intro;
+
+uint32_t TupleInterner::find(std::span<const uint32_t> Elements) const {
+  size_t Hash = TupleHash()(Elements);
+  auto [Begin, End] = Buckets.equal_range(Hash);
+  for (auto It = Begin; It != End; ++It) {
+    std::span<const uint32_t> Existing = elements(It->second);
+    if (std::equal(Existing.begin(), Existing.end(), Elements.begin(),
+                   Elements.end()))
+      return It->second;
+  }
+  return NotFound;
+}
+
+uint32_t TupleInterner::intern(std::span<const uint32_t> Elements) {
+  if (uint32_t Existing = find(Elements); Existing != NotFound)
+    return Existing;
+  size_t Hash = TupleHash()(Elements);
+
+  uint32_t Handle = static_cast<uint32_t>(Offsets.size());
+  Offsets.push_back(static_cast<uint32_t>(Arena.size()));
+  // The input span may alias the arena (e.g. when interning a truncated
+  // view of an existing tuple), so copy it out before the arena can grow.
+  std::vector<uint32_t> Copy(Elements.begin(), Elements.end());
+  Arena.insert(Arena.end(), Copy.begin(), Copy.end());
+  Buckets.emplace(Hash, Handle);
+  return Handle;
+}

@@ -1,0 +1,84 @@
+//===- support/TupleInterner.h - Interned uint32 tuples ---------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns variable-length tuples of 32-bit values into dense handles.
+///
+/// Calling contexts and heap contexts are tuples of program-element indices
+/// (call sites, allocation sites, or types, depending on the flavor of
+/// context-sensitivity).  The analysis manipulates them exclusively through
+/// dense interned handles; this class provides the handle <-> tuple mapping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_TUPLEINTERNER_H
+#define SUPPORT_TUPLEINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace intro {
+
+/// Interns tuples of uint32_t into dense uint32_t handles.
+///
+/// Tuple contents are stored contiguously in one arena; handles are stable
+/// and dense (0, 1, 2, ...), so clients can use them to index side tables.
+class TupleInterner {
+public:
+  /// A handle value meaning "not present" (returned by find).
+  static constexpr uint32_t NotFound = 0xFFFFFFFFu;
+
+  /// Interns \p Elements, returning the handle of the (unique) stored copy.
+  uint32_t intern(std::span<const uint32_t> Elements);
+
+  /// Looks up \p Elements without inserting. \returns its handle or
+  /// \ref NotFound.
+  uint32_t find(std::span<const uint32_t> Elements) const;
+
+  /// \returns the elements of tuple \p Handle.
+  std::span<const uint32_t> elements(uint32_t Handle) const {
+    assert(Handle < Offsets.size() && "tuple handle out of range");
+    uint32_t Begin = Offsets[Handle];
+    uint32_t End = Handle + 1 < Offsets.size()
+                       ? Offsets[Handle + 1]
+                       : static_cast<uint32_t>(Arena.size());
+    return std::span<const uint32_t>(Arena.data() + Begin, End - Begin);
+  }
+
+  /// \returns the number of distinct interned tuples.
+  size_t size() const { return Offsets.size(); }
+
+private:
+  struct TupleRef {
+    const TupleInterner *Owner;
+    uint32_t Handle;
+  };
+  struct TupleHash {
+    using is_transparent = void;
+    size_t operator()(std::span<const uint32_t> Elements) const {
+      // FNV-1a over the element words.
+      uint64_t Hash = 1469598103934665603ull;
+      for (uint32_t Element : Elements) {
+        Hash ^= Element;
+        Hash *= 1099511628211ull;
+      }
+      return static_cast<size_t>(Hash);
+    }
+  };
+
+  // Probing table: maps hash -> candidate handles.  We implement dedup with
+  // an unordered_multimap keyed by hash to avoid storing tuple copies.
+  std::vector<uint32_t> Arena;
+  std::vector<uint32_t> Offsets;
+  std::unordered_multimap<size_t, uint32_t> Buckets;
+};
+
+} // namespace intro
+
+#endif // SUPPORT_TUPLEINTERNER_H

@@ -1,0 +1,257 @@
+//===- workload/DaCapo.cpp - DaCapo-shaped benchmark profiles -------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/DaCapo.h"
+
+#include <cassert>
+
+using namespace intro;
+
+namespace {
+
+/// A tame profile: moderate breadth, no pathology.  The fig-1-only
+/// benchmarks (antlr, lusearch, pmd) are variations of this.
+WorkloadProfile tame(std::string Name, uint64_t Seed, uint32_t Scale) {
+  WorkloadProfile P;
+  P.Name = std::move(Name);
+  P.Seed = Seed;
+  P.NumFamilies = 8 + Scale * 2;
+  P.VariantsPerFamily = 4;
+  P.NumContainerClasses = 4 + Scale;
+  P.ContainerUses = 40 + Scale * 20;
+  P.LeafChainLength = 60 + Scale * 20;
+  P.HubFanout = 40 + Scale * 20;
+  P.NumGenClasses = 4;
+  P.NumClientClasses = 3 + Scale;
+  P.ClientAllocSites = 4 + Scale;
+  P.SpreadLocalsPerRun = 2;
+  P.HelperSitesPerRun = 1;
+  P.HelperDepth = 1;
+  return P;
+}
+
+} // namespace
+
+std::vector<WorkloadProfile> intro::dacapoProfiles() {
+  std::vector<WorkloadProfile> Profiles;
+
+  // antlr: small parser-like workload, no pathology.
+  Profiles.push_back(tame("antlr", 101, 0));
+
+  // bloat: bytecode-optimizer-shaped -- a large receiver space over fat hub
+  // sets makes 2objH painfully slow (but finishing), and a wide utility DAG
+  // kills 2callH.
+  {
+    WorkloadProfile P;
+    P.Name = "bloat";
+    P.Seed = 102;
+    P.NumFamilies = 14;
+    P.NumContainerClasses = 8;
+    P.ContainerUses = 260;
+    P.PopularContainerUses = 320;
+    P.LeafChainLength = 900;
+    P.HubFanout = 500;
+    P.NumGenClasses = 10;
+    P.NumClientClasses = 20;
+    P.ClientAllocSites = 16;
+    P.SpreadLocalsPerRun = 3;
+    P.HelperSitesPerRun = 2;
+    P.HelperDepth = 2;
+    P.PutClientsInHub = true;
+    P.PutHelpersInHub = true;
+    P.UtilLevels = 4;
+    P.UtilMethodsPerLevel = 5;
+    P.UtilFanout = 22;
+    P.UtilDriveMethods = 3;
+    P.UtilEntrySitesPerDrive = 10;
+    P.HelperSpreadLocals = 6;
+    P.DecoyVariants = 110;
+    Profiles.push_back(std::move(P));
+  }
+
+  // chart: everything completes; mild pathology only.
+  {
+    WorkloadProfile P;
+    P.Name = "chart";
+    P.Seed = 103;
+    P.NumFamilies = 12;
+    P.NumContainerClasses = 7;
+    P.ContainerUses = 250;
+    P.PopularContainerUses = 300;
+    P.LeafChainLength = 800;
+    P.HubFanout = 200;
+    P.NumGenClasses = 8;
+    P.NumClientClasses = 8;
+    P.ClientAllocSites = 12;
+    P.SpreadLocalsPerRun = 2;
+    P.HelperSitesPerRun = 2;
+    P.HelperDepth = 1;
+    P.PutClientsInHub = true;
+    P.UtilLevels = 3;
+    P.UtilMethodsPerLevel = 4;
+    P.UtilFanout = 6;
+    P.UtilDriveMethods = 2;
+    P.UtilEntrySitesPerDrive = 6;
+    P.DecoyVariants = 90;
+    Profiles.push_back(std::move(P));
+  }
+
+  // eclipse: like chart, somewhat larger, still completing everywhere.
+  {
+    WorkloadProfile P;
+    P.Name = "eclipse";
+    P.Seed = 104;
+    P.NumFamilies = 14;
+    P.NumContainerClasses = 8;
+    P.ContainerUses = 280;
+    P.PopularContainerUses = 320;
+    P.LeafChainLength = 900;
+    P.HubFanout = 250;
+    P.NumGenClasses = 10;
+    P.NumClientClasses = 10;
+    P.ClientAllocSites = 14;
+    P.SpreadLocalsPerRun = 2;
+    P.HelperSitesPerRun = 2;
+    P.HelperDepth = 1;
+    P.PutClientsInHub = true;
+    P.UtilLevels = 3;
+    P.UtilMethodsPerLevel = 4;
+    P.UtilFanout = 7;
+    P.UtilDriveMethods = 2;
+    P.UtilEntrySitesPerDrive = 6;
+    P.DecoyVariants = 110;
+    Profiles.push_back(std::move(P));
+  }
+
+  // hsqldb: database-shaped -- iterator/helper objects allocated at many
+  // sites per client run multiply 2objH contexts (tail-repairable: IntroB
+  // recovers it by coarsening the helper objects), and the utility DAG
+  // kills 2callH.
+  {
+    WorkloadProfile P;
+    P.Name = "hsqldb";
+    P.Seed = 105;
+    P.NumFamilies = 12;
+    P.NumContainerClasses = 7;
+    P.ContainerUses = 240;
+    P.PopularContainerUses = 300;
+    P.LeafChainLength = 900;
+    P.HubFanout = 700;
+    P.NumGenClasses = 8;
+    P.NumClientClasses = 10;
+    P.ClientAllocSites = 60;
+    P.SpreadLocalsPerRun = 2;
+    P.HelperSitesPerRun = 8;
+    P.HelperDepth = 1;
+    P.PutClientsInHub = true;
+    P.PutHelpersInHub = true; // <- IntroB's object rule catches the helpers.
+    P.UtilLevels = 4;
+    P.UtilMethodsPerLevel = 5;
+    P.UtilFanout = 20;
+    P.UtilDriveMethods = 3;
+    P.UtilEntrySitesPerDrive = 10;
+    P.HelperSpreadLocals = 9;
+    P.DecoyVariants = 100;
+    Profiles.push_back(std::move(P));
+  }
+
+  // jython: interpreter-shaped -- the worst of all worlds.  A huge receiver
+  // space whose cost lives in the context *head* (so IntroB cannot repair
+  // 2objH), allocation sites spread over very many generated classes (the
+  // 2typeH killer), and a utility DAG whose methods stay under IntroB's
+  // volume threshold (so IntroB cannot repair 2callH either).
+  {
+    WorkloadProfile P;
+    P.Name = "jython";
+    P.Seed = 106;
+    P.NumFamilies = 12;
+    P.NumContainerClasses = 7;
+    P.ContainerUses = 280;
+    P.PopularContainerUses = 300;
+    P.LeafChainLength = 1400;
+    P.HubFanout = 700;
+    P.NumGenClasses = 120;
+    P.NumClientClasses = 40;
+    P.ClientAllocSites = 15;
+    P.SpreadLocalsPerRun = 15;
+    P.HelperSitesPerRun = 70;
+    P.HelperDepth = 1;
+    P.PutClientsInHub = false;
+    P.PutHelpersInHub = false;
+    P.UtilLevels = 4;
+    P.UtilMethodsPerLevel = 5;
+    P.UtilFanout = 10; // Low volume per util: under IntroB's P threshold.
+    P.UtilDriveMethods = 6;
+    P.UtilEntrySitesPerDrive = 12;
+    P.HelperSpreadLocals = 6;
+    P.UseRegistry = false;
+    P.DecoyVariants = 170;
+    Profiles.push_back(std::move(P));
+  }
+
+  // lusearch: small search workload, no pathology.
+  Profiles.push_back(tame("lusearch", 107, 1));
+
+  // pmd: small analyzer workload, slight pathology, still tame.
+  {
+    WorkloadProfile P = tame("pmd", 108, 2);
+    P.UtilLevels = 2;
+    P.UtilMethodsPerLevel = 3;
+    P.UtilFanout = 4;
+    P.UtilDriveMethods = 1;
+    P.UtilEntrySitesPerDrive = 4;
+    Profiles.push_back(std::move(P));
+  }
+
+  // xalan: XSLT-shaped -- moderate receiver space (2objH completes, slowly)
+  // and the widest utility DAG in the suite (2callH explodes).
+  {
+    WorkloadProfile P;
+    P.Name = "xalan";
+    P.Seed = 109;
+    P.NumFamilies = 12;
+    P.NumContainerClasses = 7;
+    P.ContainerUses = 250;
+    P.PopularContainerUses = 300;
+    P.LeafChainLength = 900;
+    P.HubFanout = 400;
+    P.NumGenClasses = 12;
+    P.NumClientClasses = 15;
+    P.ClientAllocSites = 20;
+    P.SpreadLocalsPerRun = 3;
+    P.HelperSitesPerRun = 2;
+    P.HelperDepth = 2;
+    P.PutClientsInHub = true;
+    P.PutHelpersInHub = true;
+    P.UtilLevels = 4;
+    P.UtilMethodsPerLevel = 5;
+    P.UtilFanout = 24;
+    P.UtilDriveMethods = 3;
+    P.UtilEntrySitesPerDrive = 10;
+    P.HelperSpreadLocals = 6;
+    P.DecoyVariants = 100;
+    Profiles.push_back(std::move(P));
+  }
+
+  return Profiles;
+}
+
+std::vector<WorkloadProfile> intro::scalabilitySubjects() {
+  std::vector<WorkloadProfile> Subjects;
+  for (const WorkloadProfile &P : dacapoProfiles())
+    if (P.Name == "bloat" || P.Name == "chart" || P.Name == "eclipse" ||
+        P.Name == "hsqldb" || P.Name == "jython" || P.Name == "xalan")
+      Subjects.push_back(P);
+  return Subjects;
+}
+
+WorkloadProfile intro::dacapoProfile(std::string_view Name) {
+  for (WorkloadProfile &P : dacapoProfiles())
+    if (P.Name == Name)
+      return P;
+  assert(false && "unknown benchmark profile name");
+  return WorkloadProfile();
+}

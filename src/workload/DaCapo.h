@@ -1,0 +1,48 @@
+//===- workload/DaCapo.h - DaCapo-shaped benchmark profiles -----*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-benchmark workload profiles named after the DaCapo 2006 programs the
+/// paper evaluates.  The parameter choices are calibrated so that the
+/// *shape* of the paper's results holds on the synthetic substrate:
+///
+///   - the context-insensitive analysis is uniformly fast everywhere;
+///   - 2objH blows up on hsqldb and jython (and is painfully slow on
+///     bloat), as in Figures 1 and 5;
+///   - 2typeH blows up on jython only (Figure 6);
+///   - 2callH blows up on 4 of the 6 scalability subjects (Figure 7);
+///   - IntroA always terminates; IntroB terminates everywhere except
+///     jython under 2objH and 2callH.
+///
+/// See DESIGN.md for why each structural knob drives each flavor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOAD_DACAPO_H
+#define WORKLOAD_DACAPO_H
+
+#include "workload/Generator.h"
+
+#include <string_view>
+#include <vector>
+
+namespace intro {
+
+/// All nine benchmark profiles of the paper's Figure 1, in the paper's
+/// order: antlr, bloat, chart, eclipse, hsqldb, jython, lusearch, pmd,
+/// xalan.
+std::vector<WorkloadProfile> dacapoProfiles();
+
+/// The six "scalability subject" profiles of Figures 4-7: bloat, chart,
+/// eclipse, hsqldb, jython, xalan.
+std::vector<WorkloadProfile> scalabilitySubjects();
+
+/// \returns the profile named \p Name (must exist in dacapoProfiles()).
+WorkloadProfile dacapoProfile(std::string_view Name);
+
+} // namespace intro
+
+#endif // WORKLOAD_DACAPO_H

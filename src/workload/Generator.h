@@ -1,0 +1,122 @@
+//===- workload/Generator.h - Synthetic benchmark programs ------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates synthetic object-oriented programs that reproduce the
+/// scalability structure of the paper's DaCapo benchmarks (which we cannot
+/// consume without a Java bytecode frontend; see DESIGN.md).
+///
+/// The generator plants four independent structural ingredients whose
+/// intensities are per-profile knobs:
+///
+///  - *Breadth*: class-hierarchy families, container classes with
+///    set/get methods, cast-heavy container-use snippets, and leaf call
+///    chains.  This is the well-behaved code where context-sensitivity
+///    earns its precision (casts proved safe, call sites devirtualized).
+///
+///  - *Hub pathology* (`HubFanout`): a registry object whose single slot
+///    conflates many payload allocation sites.  Its fat points-to sets get
+///    multiplied by every additional context, the exact failure mode the
+///    paper describes ("c copies of n points-to facts each").
+///
+///  - *Receiver-space pathology* (`NumClientClasses` x `ClientAllocSites`,
+///    `HelperDepth`): many receiver allocation sites for methods that
+///    handle hub payloads -- the context-count multiplier for
+///    object-sensitivity.
+///
+///  - *Allocator-class diversity* (`NumGenClasses`): hub/client allocations
+///    are hosted in methods of distinct generator classes, which is what
+///    multiplies contexts under *type*-sensitivity (jython-style).
+///
+///  - *Utility-DAG pathology* (`UtilLevels` x `UtilMethodsPerLevel` x
+///    `UtilFanout`): layered static utility methods with many cross-level
+///    call sites, the context-count multiplier for call-site-sensitivity.
+///
+/// Everything is deterministic in the profile's seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOAD_GENERATOR_H
+#define WORKLOAD_GENERATOR_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace intro {
+
+/// Size and pathology knobs for one synthetic benchmark.
+struct WorkloadProfile {
+  std::string Name = "custom";
+  uint64_t Seed = 1;
+
+  // --- Breadth (well-behaved code) --------------------------------------
+  uint32_t NumFamilies = 10;        ///< Independent class hierarchies.
+  uint32_t VariantsPerFamily = 4;   ///< Subclasses per hierarchy.
+  uint32_t NumContainerClasses = 6; ///< Box-like classes with set/get.
+  uint32_t ContainerUses = 60;      ///< Container-use snippets (with casts).
+  uint32_t SnippetsPerModClass = 5; ///< Snippets hosted per module class.
+                                    ///< Type-sensitivity distinguishes
+                                    ///< container instances *across* module
+                                    ///< classes but not within one, so this
+                                    ///< knob sets 2typeH's precision between
+                                    ///< insens (large) and 2objH (1).
+  uint32_t PopularContainerUses = 0; ///< Extra snippets all sharing container
+                                     ///< class 0 ("the popular container").
+                                     ///< Its instances' field sets exceed
+                                     ///< Heuristic A's M threshold, so IntroA
+                                     ///< sacrifices these casts while IntroB
+                                     ///< (volume under P) keeps them.
+  uint32_t DecoyVariants = 0;       ///< Family variants that are stored into
+                                    ///< the popular container but never
+                                    ///< legitimately retrieved: their work()
+                                    ///< methods are reachable only under
+                                    ///< imprecise (conflating) analyses,
+                                    ///< giving the reachable-methods metric
+                                    ///< its paper-style spread.
+  uint32_t LeafChainLength = 100;   ///< Static leaf-method chain (breadth).
+
+  // --- Hub pathology ------------------------------------------------------
+  uint32_t HubFanout = 0;        ///< Payload allocation sites fed to the hub.
+  uint32_t NumGenClasses = 4;    ///< Classes hosting hub/client allocations
+                                 ///< (the type-sensitivity multiplier).
+  uint32_t NumClientClasses = 0; ///< Classes whose methods drain the hub.
+  uint32_t ClientAllocSites = 0; ///< Receiver allocation sites per client
+                                 ///< class (the object-sensitivity head
+                                 ///< multiplier).
+  uint32_t SpreadLocalsPerRun = 2; ///< Extra hub-holding locals in run().
+  uint32_t HelperSitesPerRun = 1;  ///< Helper allocation sites per run().
+  uint32_t HelperDepth = 0;        ///< Helper chain depth below run().
+  uint32_t HelperSpreadLocals = 0; ///< Extra payload-holding locals in
+                                   ///< proc().  Pushes proc's points-to
+                                   ///< volume over Heuristic B's P threshold
+                                   ///< so IntroB can repair helper-driven
+                                   ///< explosions; keep 0 to defeat IntroB.
+  bool PutClientsInHub = false;    ///< Clients become hub payloads too
+                                   ///< (raises their pointed-by metrics).
+  bool PutHelpersInHub = false;    ///< Helpers become hub payloads too.
+  bool UseRegistry = false;        ///< Register clients in a *separate*
+                                   ///< registry object instead of the hub:
+                                   ///< raises their pointed-by metrics
+                                   ///< without inflating the hub sets.
+  uint32_t RegistryScanLocals = 15; ///< Locals per registry scanner method.
+  uint32_t RegistryScanMethods = 2; ///< Static registry scanner methods.
+
+  // --- Call-site pathology -------------------------------------------------
+  uint32_t UtilLevels = 0;           ///< Depth of the static utility DAG.
+  uint32_t UtilMethodsPerLevel = 0;  ///< Width of each DAG level.
+  uint32_t UtilFanout = 0;           ///< Next-level call sites per method.
+  uint32_t UtilDriveMethods = 0;     ///< Static drivers feeding the DAG.
+  uint32_t UtilEntrySitesPerDrive = 0; ///< DAG entry calls per driver.
+};
+
+/// Generates the program described by \p Profile.  The result is finalized
+/// and structurally valid (checked by tests against ir/Validator.h).
+Program generateWorkload(const WorkloadProfile &Profile);
+
+} // namespace intro
+
+#endif // WORKLOAD_GENERATOR_H

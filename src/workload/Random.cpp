@@ -1,0 +1,211 @@
+//===- workload/Random.cpp - Random programs for property tests -----------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Random.h"
+
+#include "ir/ProgramBuilder.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+using namespace intro;
+
+namespace {
+
+class RandomGen {
+public:
+  RandomGen(uint64_t Seed, const RandomProgramOptions &Options)
+      : R(Seed), Opt(Options) {}
+
+  Program run() {
+    makeClasses();
+    declareMethods();
+    fillBodies();
+    makeMain();
+    return B.take();
+  }
+
+private:
+  void makeClasses() {
+    Types.push_back(B.cls("Object"));
+    for (uint32_t Index = 0; Index < Opt.NumClasses; ++Index) {
+      // Random superclass among the already-created types: mixes deep and
+      // wide hierarchies.
+      TypeId Super = Types[R.below(static_cast<uint32_t>(Types.size()))];
+      Types.push_back(B.cls("C" + std::to_string(Index), Super));
+    }
+    // Fields: zero to two per class (root included).
+    for (TypeId Type : Types)
+      for (uint32_t Index = 0; Index < R.below(3); ++Index)
+        Fields.push_back(
+            B.field(Type, "f" + std::to_string(Fields.size())));
+  }
+
+  void declareMethods() {
+    // Virtual methods: each signature is implemented by a random subset of
+    // classes (overriding along whatever hierarchy resulted).
+    for (uint32_t Sig = 0; Sig < Opt.NumVirtualSigs; ++Sig) {
+      std::string Name = "m" + std::to_string(Sig);
+      uint32_t Arity = R.below(3);
+      for (TypeId Type : Types) {
+        if (!R.chance(500))
+          continue;
+        Bodies.push_back(B.method(Type, Name, Arity, /*IsStatic=*/false));
+      }
+    }
+    for (uint32_t Index = 0; Index < Opt.NumStaticMethods; ++Index)
+      Bodies.push_back(B.method(Types[R.below(
+                                    static_cast<uint32_t>(Types.size()))],
+                                "s" + std::to_string(Index), R.below(3),
+                                /*IsStatic=*/true));
+  }
+
+  VarId randomVar(MethodBuilder &MB, std::vector<VarId> &Pool) {
+    if (Pool.empty() || (Pool.size() < Opt.LocalsPerMethod && R.chance(300)))
+      Pool.push_back(MB.local("v" + std::to_string(Pool.size())));
+    return Pool[R.below(static_cast<uint32_t>(Pool.size()))];
+  }
+
+  TypeId randomType() {
+    return Types[R.below(static_cast<uint32_t>(Types.size()))];
+  }
+
+  void emitRandomBody(MethodBuilder MB, uint32_t Length,
+                      std::vector<VarId> Pool = {}) {
+    // Seed the pool with this/formals so they participate in dataflow.
+    const MethodInfo &Info = B.current().method(MB.id());
+    if (!Info.IsStatic)
+      Pool.push_back(Info.This);
+    for (VarId Formal : Info.Formals)
+      Pool.push_back(Formal);
+
+    for (uint32_t Index = 0; Index < Length; ++Index) {
+      switch (R.below(11)) {
+      case 0:
+      case 1:
+        MB.alloc(randomVar(MB, Pool), randomType());
+        break;
+      case 2:
+        MB.move(randomVar(MB, Pool), randomVar(MB, Pool));
+        break;
+      case 3:
+        MB.cast(randomVar(MB, Pool), randomVar(MB, Pool), randomType());
+        break;
+      case 4:
+        if (!Fields.empty())
+          MB.load(randomVar(MB, Pool), randomVar(MB, Pool),
+                  Fields[R.below(static_cast<uint32_t>(Fields.size()))]);
+        break;
+      case 5:
+        if (!Fields.empty())
+          MB.store(randomVar(MB, Pool),
+                   Fields[R.below(static_cast<uint32_t>(Fields.size()))],
+                   randomVar(MB, Pool));
+        break;
+      case 6: {
+        uint32_t Sig = R.below(Opt.NumVirtualSigs);
+        uint32_t Arity = SigArity(Sig);
+        std::vector<VarId> Args;
+        for (uint32_t Arg = 0; Arg < Arity; ++Arg)
+          Args.push_back(randomVar(MB, Pool));
+        VarId Result =
+            R.chance(600) ? randomVar(MB, Pool) : VarId::invalid();
+        SiteId Site = MB.vcall(Result, randomVar(MB, Pool),
+                               "m" + std::to_string(Sig), Args);
+        if (R.chance(300))
+          MB.attachCatch(Site, randomType(), randomVar(MB, Pool));
+        break;
+      }
+      case 7: {
+        if (Statics.empty())
+          break;
+        MethodId Target =
+            Statics[R.below(static_cast<uint32_t>(Statics.size()))];
+        const MethodInfo &TargetInfo = B.current().method(Target);
+        std::vector<VarId> Args;
+        for (size_t Arg = 0; Arg < TargetInfo.Formals.size(); ++Arg)
+          Args.push_back(randomVar(MB, Pool));
+        VarId Result =
+            R.chance(600) ? randomVar(MB, Pool) : VarId::invalid();
+        SiteId Site = MB.scall(Result, Target, Args);
+        if (R.chance(300))
+          MB.attachCatch(Site, randomType(), randomVar(MB, Pool));
+        break;
+      }
+      case 8:
+        if (!Fields.empty() && R.chance(700))
+          MB.sload(randomVar(MB, Pool),
+                   Fields[R.below(static_cast<uint32_t>(Fields.size()))]);
+        break;
+      case 9:
+        if (!Fields.empty() && R.chance(700))
+          MB.sstore(Fields[R.below(static_cast<uint32_t>(Fields.size()))],
+                    randomVar(MB, Pool));
+        break;
+      case 10:
+        if (R.chance(400))
+          MB.throwStmt(randomVar(MB, Pool));
+        break;
+      }
+    }
+    // Half of the methods return something.
+    if (R.chance(500) && !Pool.empty())
+      MB.move(MB.returnVar(),
+              Pool[R.below(static_cast<uint32_t>(Pool.size()))]);
+  }
+
+  uint32_t SigArity(uint32_t Sig) {
+    // Look up the arity the first declaration fixed for this name; default
+    // 0 if no class implements it (the call will just never dispatch).
+    for (MethodBuilder &MB : Bodies) {
+      const MethodInfo &Info = B.current().method(MB.id());
+      if (!Info.IsStatic &&
+          B.current().methodName(MB.id()) == "m" + std::to_string(Sig))
+        return static_cast<uint32_t>(Info.Formals.size());
+    }
+    return 0;
+  }
+
+  void fillBodies() {
+    for (MethodBuilder &MB : Bodies) {
+      const MethodInfo &Info = B.current().method(MB.id());
+      if (Info.IsStatic)
+        Statics.push_back(MB.id());
+    }
+    for (MethodBuilder &MB : Bodies)
+      emitRandomBody(MB, 1 + R.below(Opt.InstructionsPerBody));
+  }
+
+  void makeMain() {
+    MethodBuilder Main =
+        B.method(Types[0], "main", 0, /*IsStatic=*/true);
+    B.entry(Main.id());
+    std::vector<VarId> Pool;
+    // Guarantee some allocations so dispatch has receivers.
+    for (uint32_t Index = 0; Index < 3 + R.below(4); ++Index) {
+      VarId Var = Main.local("r" + std::to_string(Index));
+      Main.alloc(Var, randomType());
+      Pool.push_back(Var);
+    }
+    emitRandomBody(Main, 4 + R.below(Opt.InstructionsPerBody), Pool);
+  }
+
+  Rng R;
+  const RandomProgramOptions &Opt;
+  ProgramBuilder B;
+  std::vector<TypeId> Types;
+  std::vector<FieldId> Fields;
+  std::vector<MethodBuilder> Bodies;
+  std::vector<MethodId> Statics;
+};
+
+} // namespace
+
+Program intro::generateRandomProgram(uint64_t Seed,
+                                     const RandomProgramOptions &Options) {
+  return RandomGen(Seed, Options).run();
+}

@@ -1,0 +1,44 @@
+//===- workload/Random.h - Random programs for property tests ---*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates small, fully random — but structurally valid — programs for
+/// property-based testing: the worklist solver is compared tuple-for-tuple
+/// against the Datalog reference on them, and both against the concrete
+/// interpreter, across many seeds and every context flavor.
+///
+/// Unlike workload/Generator.h (which plants specific cost structures),
+/// this generator draws every instruction independently, exploring corner
+/// cases: unassigned variables, dispatch failures, dead methods, self-moves,
+/// recursive static calls, casts that always fail, and so on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOAD_RANDOM_H
+#define WORKLOAD_RANDOM_H
+
+#include "ir/Program.h"
+
+namespace intro {
+
+/// Shape parameters for random programs.
+struct RandomProgramOptions {
+  uint32_t NumClasses = 6;         ///< Classes beside the root.
+  uint32_t NumVirtualSigs = 3;     ///< Distinct virtual method names.
+  uint32_t NumStaticMethods = 4;   ///< Static helper methods.
+  uint32_t InstructionsPerBody = 8; ///< Approximate body length.
+  uint32_t LocalsPerMethod = 5;    ///< Local variable pool per method.
+};
+
+/// Generates a random program from \p Seed.  The result is finalized and
+/// passes ir/Validator.h (asserted by the workload test suite).
+Program generateRandomProgram(uint64_t Seed,
+                              const RandomProgramOptions &Options =
+                                  RandomProgramOptions());
+
+} // namespace intro
+
+#endif // WORKLOAD_RANDOM_H

@@ -1,0 +1,200 @@
+//===- tests/DatalogTests.cpp - Datalog engine unit tests -----------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datalog/Engine.h"
+
+#include <gtest/gtest.h>
+
+using namespace intro::datalog;
+
+namespace {
+
+Term V(uint32_t N) { return Term::var(N); }
+Term C(uint32_t N) { return Term::cst(N); }
+
+std::vector<std::vector<uint32_t>> dump(const Relation &Rel) {
+  std::vector<std::vector<uint32_t>> Out;
+  for (uint32_t Index = 0; Index < Rel.size(); ++Index) {
+    auto Tuple = Rel.tuple(Index);
+    Out.emplace_back(Tuple.begin(), Tuple.end());
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+} // namespace
+
+TEST(Relation, InsertDedupContains) {
+  Relation Rel("edge", 2);
+  EXPECT_TRUE(Rel.insert(std::array<uint32_t, 2>{1, 2}));
+  EXPECT_FALSE(Rel.insert(std::array<uint32_t, 2>{1, 2}));
+  EXPECT_TRUE(Rel.insert(std::array<uint32_t, 2>{2, 1}));
+  EXPECT_EQ(Rel.size(), 2u);
+  EXPECT_TRUE(Rel.contains(std::array<uint32_t, 2>{1, 2}));
+  EXPECT_FALSE(Rel.contains(std::array<uint32_t, 2>{3, 3}));
+}
+
+TEST(Engine, TransitiveClosure) {
+  Engine E;
+  uint32_t Edge = E.addRelation("edge", 2);
+  uint32_t Path = E.addRelation("path", 2);
+
+  // path(x, y) <- edge(x, y).
+  E.addRule(Rule{{Atom{Path, {V(0), V(1)}}}, {Atom{Edge, {V(0), V(1)}}}, {}});
+  // path(x, z) <- path(x, y), edge(y, z).
+  E.addRule(Rule{{Atom{Path, {V(0), V(2)}}},
+                 {Atom{Path, {V(0), V(1)}}, Atom{Edge, {V(1), V(2)}}},
+                 {}});
+
+  // A chain 0 -> 1 -> 2 -> 3 plus a self-contained edge 7 -> 8.
+  for (auto [A, B] :
+       std::vector<std::pair<uint32_t, uint32_t>>{{0, 1}, {1, 2}, {2, 3},
+                                                  {7, 8}})
+    E.relation(Edge).insert(std::array<uint32_t, 2>{A, B});
+
+  EngineStats Stats = E.run();
+  EXPECT_FALSE(Stats.BudgetExceeded);
+
+  auto Paths = dump(E.relation(Path));
+  std::vector<std::vector<uint32_t>> Expected = {
+      {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {7, 8}};
+  EXPECT_EQ(Paths, Expected);
+}
+
+TEST(Engine, TransitiveClosureOnCycleTerminates) {
+  Engine E;
+  uint32_t Edge = E.addRelation("edge", 2);
+  uint32_t Path = E.addRelation("path", 2);
+  E.addRule(Rule{{Atom{Path, {V(0), V(1)}}}, {Atom{Edge, {V(0), V(1)}}}, {}});
+  E.addRule(Rule{{Atom{Path, {V(0), V(2)}}},
+                 {Atom{Path, {V(0), V(1)}}, Atom{Edge, {V(1), V(2)}}},
+                 {}});
+  for (uint32_t Node = 0; Node < 10; ++Node)
+    E.relation(Edge).insert(std::array<uint32_t, 2>{Node, (Node + 1) % 10});
+  E.run();
+  // Complete digraph on the cycle: 100 paths.
+  EXPECT_EQ(E.relation(Path).size(), 100u);
+}
+
+TEST(Engine, ConstantsInBodyFilter) {
+  Engine E;
+  uint32_t In = E.addRelation("in", 2);
+  uint32_t Out = E.addRelation("out", 1);
+  // out(y) <- in(5, y).
+  E.addRule(Rule{{Atom{Out, {V(0)}}}, {Atom{In, {C(5), V(0)}}}, {}});
+  E.relation(In).insert(std::array<uint32_t, 2>{5, 100});
+  E.relation(In).insert(std::array<uint32_t, 2>{6, 200});
+  E.relation(In).insert(std::array<uint32_t, 2>{5, 300});
+  E.run();
+  auto Result = dump(E.relation(Out));
+  EXPECT_EQ(Result, (std::vector<std::vector<uint32_t>>{{100}, {300}}));
+}
+
+TEST(Engine, NegationOnExtensionalRelation) {
+  Engine E;
+  uint32_t Node = E.addRelation("node", 1);
+  uint32_t Banned = E.addRelation("banned", 1);
+  uint32_t Ok = E.addRelation("ok", 1);
+  // ok(x) <- node(x), !banned(x).
+  E.addRule(Rule{{Atom{Ok, {V(0)}}},
+                 {Atom{Node, {V(0)}}, Atom{Banned, {V(0)}, /*Negated=*/true}},
+                 {}});
+  for (uint32_t N : {1u, 2u, 3u, 4u})
+    E.relation(Node).insert(std::array<uint32_t, 1>{N});
+  E.relation(Banned).insert(std::array<uint32_t, 1>{2});
+  E.relation(Banned).insert(std::array<uint32_t, 1>{4});
+  E.run();
+  EXPECT_EQ(dump(E.relation(Ok)),
+            (std::vector<std::vector<uint32_t>>{{1}, {3}}));
+}
+
+TEST(Engine, FunctorsBindHeadVariables) {
+  Engine E;
+  uint32_t In = E.addRelation("in", 1);
+  uint32_t Out = E.addRelation("out", 2);
+  uint32_t Doubler = E.addFunctor(
+      [](std::span<const uint32_t> Args) { return Args[0] * 2; });
+  // out(x, double(x)) <- in(x).
+  Rule R;
+  R.Body = {Atom{In, {V(0)}}};
+  R.Functors = {FunctorCall{Doubler, 1, {V(0)}}};
+  R.Heads = {Atom{Out, {V(0), V(1)}}};
+  E.addRule(std::move(R));
+  for (uint32_t N : {3u, 5u})
+    E.relation(In).insert(std::array<uint32_t, 1>{N});
+  E.run();
+  EXPECT_EQ(dump(E.relation(Out)),
+            (std::vector<std::vector<uint32_t>>{{3, 6}, {5, 10}}));
+}
+
+TEST(Engine, MultipleHeadsFireTogether) {
+  Engine E;
+  uint32_t In = E.addRelation("in", 1);
+  uint32_t OutA = E.addRelation("a", 1);
+  uint32_t OutB = E.addRelation("b", 1);
+  E.addRule(Rule{{Atom{OutA, {V(0)}}, Atom{OutB, {V(0)}}},
+                 {Atom{In, {V(0)}}},
+                 {}});
+  E.relation(In).insert(std::array<uint32_t, 1>{9});
+  E.run();
+  EXPECT_EQ(E.relation(OutA).size(), 1u);
+  EXPECT_EQ(E.relation(OutB).size(), 1u);
+}
+
+TEST(Engine, RecursionThroughFunctorTerminatesViaDedup) {
+  // next(x) saturates because the functor output is capped (modular).
+  Engine E;
+  uint32_t Reach = E.addRelation("reach", 1);
+  uint32_t Step = E.addFunctor(
+      [](std::span<const uint32_t> Args) { return (Args[0] + 1) % 16; });
+  Rule R;
+  R.Body = {Atom{Reach, {V(0)}}};
+  R.Functors = {FunctorCall{Step, 1, {V(0)}}};
+  R.Heads = {Atom{Reach, {V(1)}}};
+  E.addRule(std::move(R));
+  E.relation(Reach).insert(std::array<uint32_t, 1>{0});
+  EngineStats Stats = E.run();
+  EXPECT_FALSE(Stats.BudgetExceeded);
+  EXPECT_EQ(E.relation(Reach).size(), 16u);
+}
+
+TEST(Engine, TupleBudgetAborts) {
+  // An exploding rule: pairs(x, y) <- pairs(x, y') , pairs(x', y). With a
+  // functor-free cartesian growth this saturates quickly; use the budget.
+  Engine E;
+  uint32_t Reach = E.addRelation("reach", 1);
+  uint32_t Step = E.addFunctor(
+      [](std::span<const uint32_t> Args) { return Args[0] + 1; }); // Unbounded.
+  Rule R;
+  R.Body = {Atom{Reach, {V(0)}}};
+  R.Functors = {FunctorCall{Step, 1, {V(0)}}};
+  R.Heads = {Atom{Reach, {V(1)}}};
+  E.addRule(std::move(R));
+  E.relation(Reach).insert(std::array<uint32_t, 1>{0});
+  EngineStats Stats = E.run(/*MaxTuples=*/1000);
+  EXPECT_TRUE(Stats.BudgetExceeded);
+}
+
+TEST(Engine, SemiNaiveMatchesNaiveOnDiamond) {
+  // Two rules feeding each other: ensure no derivations are missed.
+  Engine E;
+  uint32_t Edge = E.addRelation("edge", 2);
+  uint32_t Left = E.addRelation("left", 2);
+  uint32_t Right = E.addRelation("right", 2);
+  // left(x,y) <- edge(x,y).          right(x,y) <- left(x,y).
+  // left(x,z) <- right(x,y), edge(y,z).
+  E.addRule(Rule{{Atom{Left, {V(0), V(1)}}}, {Atom{Edge, {V(0), V(1)}}}, {}});
+  E.addRule(Rule{{Atom{Right, {V(0), V(1)}}}, {Atom{Left, {V(0), V(1)}}}, {}});
+  E.addRule(Rule{{Atom{Left, {V(0), V(2)}}},
+                 {Atom{Right, {V(0), V(1)}}, Atom{Edge, {V(1), V(2)}}},
+                 {}});
+  for (uint32_t Node = 0; Node < 6; ++Node)
+    E.relation(Edge).insert(std::array<uint32_t, 2>{Node, Node + 1});
+  E.run();
+  // left = all paths: 6+5+4+3+2+1 = 21.
+  EXPECT_EQ(E.relation(Left).size(), 21u);
+  EXPECT_EQ(E.relation(Right).size(), 21u);
+}

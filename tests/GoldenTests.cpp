@@ -1,0 +1,97 @@
+//===- tests/GoldenTests.cpp - Deterministic golden-value regression ------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workloads are seeded and the solver is deterministic, so every
+/// analysis result is bit-for-bit reproducible.  These tests pin the exact
+/// relation sizes and precision metrics of two benchmarks under all four
+/// base analyses.  Any semantic change to the solver, the context
+/// policies, the metrics, or the generator shows up here first — if a
+/// change is *intentional*, regenerate the table below (the values are
+/// printed by the failing assertions).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ContextPolicy.h"
+#include "analysis/PrecisionMetrics.h"
+#include "analysis/Solver.h"
+#include "workload/DaCapo.h"
+
+#include <gtest/gtest.h>
+
+using namespace intro;
+
+namespace {
+
+struct Golden {
+  const char *Analysis;
+  uint64_t VarTuples, FieldTuples, Contexts;
+  uint64_t Poly, Reachable, Casts, CallGraphEdges;
+};
+
+void expectGolden(const char *Benchmark, const std::vector<Golden> &Rows) {
+  Program Prog = generateWorkload(dacapoProfile(Benchmark));
+  for (const Golden &Row : Rows) {
+    std::string Name = Row.Analysis;
+    std::unique_ptr<ContextPolicy> Policy =
+        Name == "insens"   ? makeInsensitivePolicy()
+        : Name == "2objH"  ? makeObjectPolicy(Prog, 2, 1)
+        : Name == "2typeH" ? makeTypePolicy(Prog, 2, 1)
+                           : makeCallSitePolicy(2, 1);
+    ContextTable Table;
+    PointsToResult R = solvePointsTo(Prog, *Policy, Table);
+    ASSERT_EQ(R.Status, SolveStatus::Completed) << Benchmark << " " << Name;
+    PrecisionMetrics M = computePrecision(Prog, R);
+
+    EXPECT_EQ(R.Stats.VarPointsToTuples, Row.VarTuples)
+        << Benchmark << " " << Name;
+    EXPECT_EQ(R.Stats.FieldPointsToTuples, Row.FieldTuples)
+        << Benchmark << " " << Name;
+    EXPECT_EQ(R.Stats.NumContexts, Row.Contexts) << Benchmark << " " << Name;
+    EXPECT_EQ(M.PolymorphicVirtualCallSites, Row.Poly)
+        << Benchmark << " " << Name;
+    EXPECT_EQ(M.ReachableMethods, Row.Reachable) << Benchmark << " " << Name;
+    EXPECT_EQ(M.CastsThatMayFail, Row.Casts) << Benchmark << " " << Name;
+    EXPECT_EQ(R.Stats.CallGraphEdges, Row.CallGraphEdges)
+        << Benchmark << " " << Name;
+  }
+}
+
+} // namespace
+
+TEST(Golden, AntlrAllAnalyses) {
+  expectGolden("antlr",
+               {{"insens", 2651, 1066, 1, 26, 114, 83, 291},
+                {"2objH", 3379, 1040, 135, 3, 114, 3, 260},
+                {"2typeH", 3544, 1100, 26, 5, 114, 65, 262},
+                {"2callH", 3915, 1040, 281, 3, 114, 3, 260}});
+}
+
+TEST(Golden, ChartAllAnalyses) {
+  expectGolden("chart",
+               {{"insens", 500918, 221958, 1, 542, 1121, 1108, 7104},
+                {"2objH", 208849, 86184, 1713, 8, 1031, 8, 3188},
+                {"2typeH", 136276, 68946, 202, 86, 1031, 832, 3272},
+                {"2callH", 501375, 86184, 3685, 8, 1031, 8, 3188}});
+}
+
+TEST(Golden, ProgramShapes) {
+  Program Antlr = generateWorkload(dacapoProfile("antlr"));
+  EXPECT_EQ(Antlr.numTypes(), 105u);
+  EXPECT_EQ(Antlr.numMethods(), 123u);
+  EXPECT_EQ(Antlr.numVars(), 625u);
+  EXPECT_EQ(Antlr.numHeaps(), 242u);
+  EXPECT_EQ(Antlr.numSites(), 253u);
+  EXPECT_EQ(Antlr.numInstructions(), 603u);
+
+  Program Chart = generateWorkload(dacapoProfile("chart"));
+  EXPECT_EQ(Chart.numTypes(), 462u);
+  EXPECT_EQ(Chart.numMethods(), 1123u);
+  EXPECT_EQ(Chart.numVars(), 6955u);
+  EXPECT_EQ(Chart.numHeaps(), 2669u);
+  EXPECT_EQ(Chart.numSites(), 3164u);
+  EXPECT_EQ(Chart.numInstructions(), 7004u);
+}

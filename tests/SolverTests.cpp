@@ -1,0 +1,246 @@
+//===- tests/SolverTests.cpp - Worklist solver unit tests -----------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ContextPolicy.h"
+#include "analysis/PrecisionMetrics.h"
+#include "analysis/Result.h"
+#include "analysis/Solver.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace intro;
+using namespace intro::testing;
+
+namespace {
+
+PointsToResult solveWith(const Program &Prog, const ContextPolicy &Policy) {
+  ContextTable Table;
+  return solvePointsTo(Prog, Policy, Table);
+}
+
+bool pointsTo(const PointsToResult &Result, VarId Var, HeapId Heap) {
+  return setContains(Result.pointsTo(Var), Heap.index());
+}
+
+} // namespace
+
+TEST(Solver, DispatchResolvesPerReceiver) {
+  Dispatch T = makeDispatch();
+  auto Policy = makeInsensitivePolicy();
+  PointsToResult R = solveWith(T.Prog, *Policy);
+  ASSERT_EQ(R.Status, SolveStatus::Completed);
+
+  EXPECT_TRUE(pointsTo(R, T.Sound1, T.MeowHeap));
+  EXPECT_FALSE(pointsTo(R, T.Sound1, T.WoofHeap));
+  EXPECT_TRUE(pointsTo(R, T.Sound2, T.WoofHeap));
+  EXPECT_FALSE(pointsTo(R, T.Sound2, T.MeowHeap));
+
+  // Each call site is monomorphic.
+  EXPECT_EQ(R.callTargets(T.Call1).size(), 1u);
+  EXPECT_EQ(R.callTargets(T.Call2).size(), 1u);
+}
+
+TEST(Solver, InsensitiveConflatesBoxes) {
+  TwoBoxes T = makeTwoBoxes();
+  auto Policy = makeInsensitivePolicy();
+  PointsToResult R = solveWith(T.Prog, *Policy);
+  ASSERT_EQ(R.Status, SolveStatus::Completed);
+  // Context-insensitively both boxes share one abstract field, so both get()
+  // results see both payloads.
+  EXPECT_TRUE(pointsTo(R, T.OutA, T.HeapA));
+  EXPECT_TRUE(pointsTo(R, T.OutA, T.HeapB));
+  EXPECT_TRUE(pointsTo(R, T.OutB, T.HeapA));
+  EXPECT_TRUE(pointsTo(R, T.OutB, T.HeapB));
+
+  PrecisionMetrics Metrics = computePrecision(T.Prog, R);
+  EXPECT_EQ(Metrics.CastsThatMayFail, 1u);
+}
+
+TEST(Solver, ObjectSensitivitySeparatesBoxes) {
+  TwoBoxes T = makeTwoBoxes();
+  auto Policy = makeObjectPolicy(T.Prog, 2, 1);
+  PointsToResult R = solveWith(T.Prog, *Policy);
+  ASSERT_EQ(R.Status, SolveStatus::Completed);
+  EXPECT_TRUE(pointsTo(R, T.OutA, T.HeapA));
+  EXPECT_FALSE(pointsTo(R, T.OutA, T.HeapB));
+  EXPECT_TRUE(pointsTo(R, T.OutB, T.HeapB));
+  EXPECT_FALSE(pointsTo(R, T.OutB, T.HeapA));
+
+  PrecisionMetrics Metrics = computePrecision(T.Prog, R);
+  EXPECT_EQ(Metrics.CastsThatMayFail, 0u);
+}
+
+TEST(Solver, CallSiteSensitivitySeparatesBoxes) {
+  TwoBoxes T = makeTwoBoxes();
+  auto Policy = makeCallSitePolicy(2, 1);
+  PointsToResult R = solveWith(T.Prog, *Policy);
+  ASSERT_EQ(R.Status, SolveStatus::Completed);
+  EXPECT_TRUE(pointsTo(R, T.OutA, T.HeapA));
+  EXPECT_FALSE(pointsTo(R, T.OutA, T.HeapB));
+}
+
+TEST(Solver, TypeSensitivityConflatesSameClassAllocations) {
+  // Both boxes are allocated inside the same class, so type-sensitivity
+  // cannot tell them apart -- a known property of the abstraction.
+  TwoBoxes T = makeTwoBoxes();
+  auto Policy = makeTypePolicy(T.Prog, 2, 1);
+  PointsToResult R = solveWith(T.Prog, *Policy);
+  ASSERT_EQ(R.Status, SolveStatus::Completed);
+  EXPECT_TRUE(pointsTo(R, T.OutA, T.HeapA));
+  EXPECT_TRUE(pointsTo(R, T.OutA, T.HeapB));
+}
+
+TEST(Solver, StaticCallsAndReachability) {
+  Mixed T = makeMixed();
+  auto Policy = makeInsensitivePolicy();
+  PointsToResult R = solveWith(T.Prog, *Policy);
+  ASSERT_EQ(R.Status, SolveStatus::Completed);
+  EXPECT_TRUE(pointsTo(R, T.Chained, T.Payload));
+  EXPECT_FALSE(R.isReachable(T.Unreachable));
+}
+
+TEST(Solver, ContextSensitiveProjectionRefinesInsensitive) {
+  // Projected to (var, heap), every context-sensitive result must be a
+  // subset of the context-insensitive one.
+  TwoBoxes T = makeTwoBoxes();
+  auto Insens = makeInsensitivePolicy();
+  PointsToResult RI = solveWith(T.Prog, *Insens);
+  for (auto &Policy :
+       {makeObjectPolicy(T.Prog, 2, 1), makeCallSitePolicy(2, 1),
+        makeTypePolicy(T.Prog, 2, 1)}) {
+    PointsToResult RS = solveWith(T.Prog, *Policy);
+    ASSERT_EQ(RS.Status, SolveStatus::Completed);
+    for (uint32_t VarRaw = 0; VarRaw < T.Prog.numVars(); ++VarRaw)
+      for (uint32_t HeapRaw : RS.pointsTo(VarId(VarRaw)))
+        EXPECT_TRUE(setContains(RI.pointsTo(VarId(VarRaw)), HeapRaw))
+            << "analysis " << Policy->name() << " derived a fact the "
+            << "insensitive analysis misses (unsound projection)";
+  }
+}
+
+TEST(Solver, TupleBudgetProducesTimeoutStatus) {
+  TwoBoxes T = makeTwoBoxes();
+  auto Policy = makeInsensitivePolicy();
+  ContextTable Table;
+  SolverOptions Options;
+  Options.Budget.MaxTuples = 2; // Absurdly small.
+  PointsToResult R = solvePointsTo(T.Prog, *Policy, Table, Options);
+  EXPECT_EQ(R.Status, SolveStatus::TupleBudgetExceeded);
+  EXPECT_FALSE(isCompleted(R.Status));
+}
+
+TEST(Solver, StatsArepopulated) {
+  TwoBoxes T = makeTwoBoxes();
+  auto Policy = makeObjectPolicy(T.Prog, 2, 1);
+  PointsToResult R = solveWith(T.Prog, *Policy);
+  EXPECT_GT(R.Stats.VarPointsToTuples, 0u);
+  EXPECT_GT(R.Stats.FieldPointsToTuples, 0u);
+  EXPECT_GT(R.Stats.NumObjects, 0u);
+  EXPECT_GT(R.Stats.ReachableMethodContexts, 0u);
+  EXPECT_GT(R.Stats.CallGraphEdges, 0u);
+  EXPECT_EQ(R.AnalysisName, "2objH");
+}
+
+TEST(Solver, KeepTuplesDumpsRelations) {
+  Dispatch T = makeDispatch();
+  auto Policy = makeInsensitivePolicy();
+  ContextTable Table;
+  SolverOptions Options;
+  Options.KeepTuples = true;
+  PointsToResult R = solvePointsTo(T.Prog, *Policy, Table, Options);
+  EXPECT_FALSE(R.VarPointsTo.empty());
+  EXPECT_FALSE(R.Reachable.empty());
+  EXPECT_FALSE(R.CallGraph.empty());
+  // Insensitive: every ctx and hctx in the dump is the `*` handle 0.
+  for (const auto &Tuple : R.VarPointsTo) {
+    EXPECT_EQ(Tuple[1], 0u);
+    EXPECT_EQ(Tuple[3], 0u);
+  }
+}
+
+TEST(Policies, Names) {
+  Program Dummy; // Only used by object/type policies for lookups.
+  EXPECT_EQ(makeInsensitivePolicy()->name(), "insens");
+  EXPECT_EQ(makeCallSitePolicy(2, 1)->name(), "2callH");
+  EXPECT_EQ(makeObjectPolicy(Dummy, 2, 1)->name(), "2objH");
+  EXPECT_EQ(makeTypePolicy(Dummy, 2, 1)->name(), "2typeH");
+}
+
+TEST(Policies, IntrospectiveExceptionsFallBackToCoarse) {
+  TwoBoxes T = makeTwoBoxes();
+  auto Coarse = makeInsensitivePolicy();
+  auto Refined = makeObjectPolicy(T.Prog, 2, 1);
+
+  // Excluding the set/get call sites from refinement analyzes Box.set and
+  // Box.get in the single coarse context: their `this` conflates both boxes
+  // and the introspective analysis loses exactly the precision that full
+  // 2objH had.
+  RefinementExceptions Exceptions;
+  MethodId SetMethod = T.Prog.lookup(T.BoxT, T.Prog.site(T.SetCall1).Sig);
+  MethodId GetMethod = T.Prog.lookup(T.BoxT, T.Prog.site(T.GetCall1).Sig);
+  for (SiteId Site : {T.SetCall1, T.SetCall2})
+    Exceptions.NoRefineSites.insert(
+        RefinementExceptions::packSite(Site, SetMethod));
+  for (SiteId Site : {T.GetCall1, T.GetCall2})
+    Exceptions.NoRefineSites.insert(
+        RefinementExceptions::packSite(Site, GetMethod));
+  auto Intro = makeIntrospectivePolicy("2objH-IntroTest", *Coarse, *Refined,
+                                       std::move(Exceptions));
+  PointsToResult R = solveWith(T.Prog, *Intro);
+  ASSERT_EQ(R.Status, SolveStatus::Completed);
+  EXPECT_TRUE(pointsTo(R, T.OutA, T.HeapB)) << "coarse call contexts should "
+                                               "re-conflate the two boxes";
+}
+
+TEST(Policies, IntrospectiveWithNoExceptionsMatchesRefined) {
+  TwoBoxes T = makeTwoBoxes();
+  auto Coarse = makeInsensitivePolicy();
+  auto Refined = makeObjectPolicy(T.Prog, 2, 1);
+  auto Intro = makeIntrospectivePolicy("2objH-IntroNone", *Coarse, *Refined,
+                                       RefinementExceptions());
+  PointsToResult RIntro = solveWith(T.Prog, *Intro);
+  PointsToResult RFull = solveWith(T.Prog, *Refined);
+  for (uint32_t VarRaw = 0; VarRaw < T.Prog.numVars(); ++VarRaw)
+    EXPECT_EQ(RIntro.pointsTo(VarId(VarRaw)), RFull.pointsTo(VarId(VarRaw)));
+}
+
+TEST(Precision, DispatchProgramMetrics) {
+  Dispatch T = makeDispatch();
+  auto Policy = makeInsensitivePolicy();
+  PointsToResult R = solveWith(T.Prog, *Policy);
+  PrecisionMetrics Metrics = computePrecision(T.Prog, R);
+  EXPECT_EQ(Metrics.PolymorphicVirtualCallSites, 0u);
+  EXPECT_EQ(Metrics.ReachableVirtualCallSites, 2u);
+  EXPECT_EQ(Metrics.ReachableMethods, 3u); // main + 2 speak methods.
+  EXPECT_EQ(Metrics.ReachableCasts, 0u);
+}
+
+TEST(Precision, SharedReceiverVarIsPolymorphic) {
+  // r = new Cat(); r = new Dog(); r.speak() -- one site, two targets.
+  ProgramBuilder B;
+  TypeId Object = B.cls("Object");
+  TypeId Animal = B.cls("Animal", Object);
+  TypeId Cat = B.cls("Cat", Animal);
+  TypeId Dog = B.cls("Dog", Animal);
+  MethodBuilder CatSpeak = B.method(Cat, "speak", 0);
+  (void)CatSpeak;
+  MethodBuilder DogSpeak = B.method(Dog, "speak", 0);
+  (void)DogSpeak;
+  MethodBuilder Main = B.method(Object, "main", 0, true);
+  B.entry(Main.id());
+  VarId R = Main.local("r");
+  Main.alloc(R, Cat);
+  Main.alloc(R, Dog);
+  Main.vcall(VarId::invalid(), R, "speak", {});
+  Program P = B.take();
+
+  auto Policy = makeInsensitivePolicy();
+  PointsToResult Result = solveWith(P, *Policy);
+  PrecisionMetrics Metrics = computePrecision(P, Result);
+  EXPECT_EQ(Metrics.PolymorphicVirtualCallSites, 1u);
+}

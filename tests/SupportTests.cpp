@@ -1,0 +1,195 @@
+//===- tests/SupportTests.cpp - Support library unit tests ----------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Ids.h"
+#include "support/Rng.h"
+#include "support/SetUtils.h"
+#include "support/StringInterner.h"
+#include "support/TableWriter.h"
+#include "support/TupleInterner.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace intro;
+
+TEST(Ids, DefaultIsInvalid) {
+  VarId Var;
+  EXPECT_FALSE(Var.isValid());
+  EXPECT_EQ(Var, VarId::invalid());
+}
+
+TEST(Ids, IndexRoundTrip) {
+  HeapId Heap(42);
+  EXPECT_TRUE(Heap.isValid());
+  EXPECT_EQ(Heap.index(), 42u);
+  EXPECT_EQ(Heap.raw(), 42u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(MethodId(1), MethodId(2));
+  EXPECT_NE(MethodId(1), MethodId(2));
+  EXPECT_EQ(MethodId(3), MethodId(3));
+}
+
+TEST(Ids, Hashable) {
+  std::hash<VarId> Hasher;
+  EXPECT_EQ(Hasher(VarId(7)), Hasher(VarId(7)));
+}
+
+TEST(StringInterner, DeduplicatesAndRoundTrips) {
+  StringInterner Interner;
+  uint32_t A = Interner.intern("alpha");
+  uint32_t B = Interner.intern("beta");
+  uint32_t A2 = Interner.intern("alpha");
+  EXPECT_EQ(A, A2);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Interner.text(A), "alpha");
+  EXPECT_EQ(Interner.text(B), "beta");
+  EXPECT_EQ(Interner.size(), 2u);
+}
+
+TEST(StringInterner, ViewsSurviveGrowth) {
+  StringInterner Interner;
+  uint32_t First = Interner.intern("s0");
+  std::string_view View = Interner.text(First);
+  for (int Index = 0; Index < 1000; ++Index)
+    Interner.intern("s" + std::to_string(Index));
+  EXPECT_EQ(View, "s0");
+  EXPECT_EQ(Interner.text(First), "s0");
+}
+
+TEST(TupleInterner, EmptyTupleIsValid) {
+  TupleInterner Interner;
+  uint32_t Empty = Interner.intern({});
+  EXPECT_EQ(Empty, 0u);
+  EXPECT_TRUE(Interner.elements(Empty).empty());
+  EXPECT_EQ(Interner.intern({}), Empty);
+}
+
+TEST(TupleInterner, DeduplicatesByContent) {
+  TupleInterner Interner;
+  std::vector<uint32_t> T1 = {1, 2, 3};
+  std::vector<uint32_t> T2 = {1, 2, 4};
+  uint32_t H1 = Interner.intern(T1);
+  uint32_t H2 = Interner.intern(T2);
+  uint32_t H3 = Interner.intern(T1);
+  EXPECT_EQ(H1, H3);
+  EXPECT_NE(H1, H2);
+  auto Elements = Interner.elements(H2);
+  ASSERT_EQ(Elements.size(), 3u);
+  EXPECT_EQ(Elements[2], 4u);
+}
+
+TEST(TupleInterner, FindDoesNotInsert) {
+  TupleInterner Interner;
+  std::vector<uint32_t> T = {9, 9};
+  EXPECT_EQ(Interner.find(T), TupleInterner::NotFound);
+  EXPECT_EQ(Interner.size(), 0u);
+  uint32_t H = Interner.intern(T);
+  EXPECT_EQ(Interner.find(T), H);
+}
+
+TEST(TupleInterner, SelfAliasingInternIsSafe) {
+  TupleInterner Interner;
+  std::vector<uint32_t> Seed = {10, 20, 30};
+  uint32_t H = Interner.intern(Seed);
+  // Intern a truncated view of an existing tuple many times; the arena grows
+  // underneath the input span.
+  for (int Round = 0; Round < 100; ++Round) {
+    auto View = Interner.elements(H);
+    uint32_t Sub = Interner.intern(View.subspan(0, 2));
+    auto SubElements = Interner.elements(Sub);
+    ASSERT_EQ(SubElements.size(), 2u);
+    EXPECT_EQ(SubElements[0], 10u);
+    EXPECT_EQ(SubElements[1], 20u);
+    // Grow the arena with fresh tuples.
+    std::vector<uint32_t> Fresh = {static_cast<uint32_t>(Round), 7u, 8u, 9u};
+    Interner.intern(Fresh);
+  }
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(123);
+  Rng B(123);
+  for (int Index = 0; Index < 100; ++Index)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng R(7);
+  for (int Index = 0; Index < 1000; ++Index)
+    EXPECT_LT(R.below(10), 10u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(11);
+  bool SawLo = false;
+  bool SawHi = false;
+  for (int Index = 0; Index < 2000; ++Index) {
+    uint32_t Value = R.range(3, 5);
+    EXPECT_GE(Value, 3u);
+    EXPECT_LE(Value, 5u);
+    SawLo |= Value == 3;
+    SawHi |= Value == 5;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng A(1);
+  Rng B(2);
+  bool Diverged = false;
+  for (int Index = 0; Index < 10 && !Diverged; ++Index)
+    Diverged = A.next() != B.next();
+  EXPECT_TRUE(Diverged);
+}
+
+TEST(SetUtils, InsertAndContains) {
+  SortedIdSet Set;
+  EXPECT_TRUE(setInsert(Set, 5));
+  EXPECT_TRUE(setInsert(Set, 1));
+  EXPECT_TRUE(setInsert(Set, 9));
+  EXPECT_FALSE(setInsert(Set, 5));
+  EXPECT_TRUE(setContains(Set, 1));
+  EXPECT_TRUE(setContains(Set, 5));
+  EXPECT_FALSE(setContains(Set, 2));
+  EXPECT_EQ(Set, (SortedIdSet{1, 5, 9}));
+}
+
+TEST(SetUtils, UnionInto) {
+  SortedIdSet Set = {1, 3, 5};
+  SortedIdSet Delta = {2, 3, 6};
+  SortedIdSet NewElements;
+  setUnionInto(Set, Delta, NewElements);
+  EXPECT_EQ(Set, (SortedIdSet{1, 2, 3, 5, 6}));
+  EXPECT_EQ(NewElements, (SortedIdSet{2, 6}));
+}
+
+TEST(SetUtils, NormalizeSortsAndDedupes) {
+  SortedIdSet Values = {5, 1, 5, 3, 1};
+  setNormalize(Values);
+  EXPECT_EQ(Values, (SortedIdSet{1, 3, 5}));
+}
+
+TEST(TableWriter, AlignsColumns) {
+  TableWriter Table({"name", "value"});
+  Table.addRow({"x", "1"});
+  Table.addRow({"longer", "22"});
+  std::ostringstream Out;
+  Table.print(Out);
+  std::string Text = Out.str();
+  EXPECT_NE(Text.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(Text.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TableWriter, Formatters) {
+  EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::num(uint64_t(42)), "42");
+  EXPECT_EQ(TableWriter::percent(12.34), "12.3 %");
+}
