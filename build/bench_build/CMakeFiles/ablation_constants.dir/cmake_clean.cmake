@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_constants"
+  "../bench/ablation_constants.pdb"
+  "CMakeFiles/ablation_constants.dir/ablation_constants.cpp.o"
+  "CMakeFiles/ablation_constants.dir/ablation_constants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_importance"
+  "../bench/ablation_importance.pdb"
+  "CMakeFiles/ablation_importance.dir/ablation_importance.cpp.o"
+  "CMakeFiles/ablation_importance.dir/ablation_importance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

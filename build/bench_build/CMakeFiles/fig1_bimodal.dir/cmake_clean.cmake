@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_bimodal"
+  "../bench/fig1_bimodal.pdb"
+  "CMakeFiles/fig1_bimodal.dir/fig1_bimodal.cpp.o"
+  "CMakeFiles/fig1_bimodal.dir/fig1_bimodal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_bimodal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

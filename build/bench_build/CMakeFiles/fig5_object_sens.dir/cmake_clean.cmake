@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_object_sens"
+  "../bench/fig5_object_sens.pdb"
+  "CMakeFiles/fig5_object_sens.dir/fig5_object_sens.cpp.o"
+  "CMakeFiles/fig5_object_sens.dir/fig5_object_sens.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_object_sens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

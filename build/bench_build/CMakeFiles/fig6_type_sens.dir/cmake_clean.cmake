@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_type_sens"
+  "../bench/fig6_type_sens.pdb"
+  "CMakeFiles/fig6_type_sens.dir/fig6_type_sens.cpp.o"
+  "CMakeFiles/fig6_type_sens.dir/fig6_type_sens.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_type_sens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

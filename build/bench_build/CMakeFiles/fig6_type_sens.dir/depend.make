@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_type_sens.
+# This may be replaced when dependencies are built.

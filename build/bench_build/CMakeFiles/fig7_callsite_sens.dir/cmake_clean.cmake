@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_callsite_sens"
+  "../bench/fig7_callsite_sens.pdb"
+  "CMakeFiles/fig7_callsite_sens.dir/fig7_callsite_sens.cpp.o"
+  "CMakeFiles/fig7_callsite_sens.dir/fig7_callsite_sens.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_callsite_sens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

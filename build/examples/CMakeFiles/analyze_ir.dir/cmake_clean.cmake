@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_ir.dir/analyze_ir.cpp.o"
+  "CMakeFiles/analyze_ir.dir/analyze_ir.cpp.o.d"
+  "analyze_ir"
+  "analyze_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_check.dir/cast_check.cpp.o"
+  "CMakeFiles/cast_check.dir/cast_check.cpp.o.d"
+  "cast_check"
+  "cast_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

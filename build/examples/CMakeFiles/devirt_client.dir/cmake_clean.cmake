@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devirt_client.dir/devirt_client.cpp.o"
+  "CMakeFiles/devirt_client.dir/devirt_client.cpp.o.d"
+  "devirt_client"
+  "devirt_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devirt_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

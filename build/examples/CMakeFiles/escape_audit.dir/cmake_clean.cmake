@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_audit.dir/escape_audit.cpp.o"
+  "CMakeFiles/escape_audit.dir/escape_audit.cpp.o.d"
+  "escape_audit"
+  "escape_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Alias.cpp" "src/analysis/CMakeFiles/intro_analysis.dir/Alias.cpp.o" "gcc" "src/analysis/CMakeFiles/intro_analysis.dir/Alias.cpp.o.d"
+  "/root/repo/src/analysis/ContextPolicy.cpp" "src/analysis/CMakeFiles/intro_analysis.dir/ContextPolicy.cpp.o" "gcc" "src/analysis/CMakeFiles/intro_analysis.dir/ContextPolicy.cpp.o.d"
+  "/root/repo/src/analysis/DatalogReference.cpp" "src/analysis/CMakeFiles/intro_analysis.dir/DatalogReference.cpp.o" "gcc" "src/analysis/CMakeFiles/intro_analysis.dir/DatalogReference.cpp.o.d"
+  "/root/repo/src/analysis/Escape.cpp" "src/analysis/CMakeFiles/intro_analysis.dir/Escape.cpp.o" "gcc" "src/analysis/CMakeFiles/intro_analysis.dir/Escape.cpp.o.d"
+  "/root/repo/src/analysis/PrecisionMetrics.cpp" "src/analysis/CMakeFiles/intro_analysis.dir/PrecisionMetrics.cpp.o" "gcc" "src/analysis/CMakeFiles/intro_analysis.dir/PrecisionMetrics.cpp.o.d"
+  "/root/repo/src/analysis/Reports.cpp" "src/analysis/CMakeFiles/intro_analysis.dir/Reports.cpp.o" "gcc" "src/analysis/CMakeFiles/intro_analysis.dir/Reports.cpp.o.d"
+  "/root/repo/src/analysis/Solver.cpp" "src/analysis/CMakeFiles/intro_analysis.dir/Solver.cpp.o" "gcc" "src/analysis/CMakeFiles/intro_analysis.dir/Solver.cpp.o.d"
+  "/root/repo/src/analysis/Statistics.cpp" "src/analysis/CMakeFiles/intro_analysis.dir/Statistics.cpp.o" "gcc" "src/analysis/CMakeFiles/intro_analysis.dir/Statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/intro_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/intro_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/intro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intro_analysis.dir/Alias.cpp.o"
+  "CMakeFiles/intro_analysis.dir/Alias.cpp.o.d"
+  "CMakeFiles/intro_analysis.dir/ContextPolicy.cpp.o"
+  "CMakeFiles/intro_analysis.dir/ContextPolicy.cpp.o.d"
+  "CMakeFiles/intro_analysis.dir/DatalogReference.cpp.o"
+  "CMakeFiles/intro_analysis.dir/DatalogReference.cpp.o.d"
+  "CMakeFiles/intro_analysis.dir/Escape.cpp.o"
+  "CMakeFiles/intro_analysis.dir/Escape.cpp.o.d"
+  "CMakeFiles/intro_analysis.dir/PrecisionMetrics.cpp.o"
+  "CMakeFiles/intro_analysis.dir/PrecisionMetrics.cpp.o.d"
+  "CMakeFiles/intro_analysis.dir/Reports.cpp.o"
+  "CMakeFiles/intro_analysis.dir/Reports.cpp.o.d"
+  "CMakeFiles/intro_analysis.dir/Solver.cpp.o"
+  "CMakeFiles/intro_analysis.dir/Solver.cpp.o.d"
+  "CMakeFiles/intro_analysis.dir/Statistics.cpp.o"
+  "CMakeFiles/intro_analysis.dir/Statistics.cpp.o.d"
+  "libintro_analysis.a"
+  "libintro_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intro_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intro_datalog.dir/Aggregates.cpp.o"
+  "CMakeFiles/intro_datalog.dir/Aggregates.cpp.o.d"
+  "CMakeFiles/intro_datalog.dir/Engine.cpp.o"
+  "CMakeFiles/intro_datalog.dir/Engine.cpp.o.d"
+  "libintro_datalog.a"
+  "libintro_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intro_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

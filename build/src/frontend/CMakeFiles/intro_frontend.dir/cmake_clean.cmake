@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intro_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/intro_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/intro_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/intro_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/intro_frontend.dir/Printer.cpp.o"
+  "CMakeFiles/intro_frontend.dir/Printer.cpp.o.d"
+  "libintro_frontend.a"
+  "libintro_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intro_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intro_introspect.dir/Custom.cpp.o"
+  "CMakeFiles/intro_introspect.dir/Custom.cpp.o.d"
+  "CMakeFiles/intro_introspect.dir/Driver.cpp.o"
+  "CMakeFiles/intro_introspect.dir/Driver.cpp.o.d"
+  "CMakeFiles/intro_introspect.dir/Heuristics.cpp.o"
+  "CMakeFiles/intro_introspect.dir/Heuristics.cpp.o.d"
+  "CMakeFiles/intro_introspect.dir/Importance.cpp.o"
+  "CMakeFiles/intro_introspect.dir/Importance.cpp.o.d"
+  "CMakeFiles/intro_introspect.dir/Metrics.cpp.o"
+  "CMakeFiles/intro_introspect.dir/Metrics.cpp.o.d"
+  "libintro_introspect.a"
+  "libintro_introspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intro_introspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Facts.cpp" "src/ir/CMakeFiles/intro_ir.dir/Facts.cpp.o" "gcc" "src/ir/CMakeFiles/intro_ir.dir/Facts.cpp.o.d"
+  "/root/repo/src/ir/FactsIO.cpp" "src/ir/CMakeFiles/intro_ir.dir/FactsIO.cpp.o" "gcc" "src/ir/CMakeFiles/intro_ir.dir/FactsIO.cpp.o.d"
+  "/root/repo/src/ir/Interpreter.cpp" "src/ir/CMakeFiles/intro_ir.dir/Interpreter.cpp.o" "gcc" "src/ir/CMakeFiles/intro_ir.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "src/ir/CMakeFiles/intro_ir.dir/Program.cpp.o" "gcc" "src/ir/CMakeFiles/intro_ir.dir/Program.cpp.o.d"
+  "/root/repo/src/ir/ProgramBuilder.cpp" "src/ir/CMakeFiles/intro_ir.dir/ProgramBuilder.cpp.o" "gcc" "src/ir/CMakeFiles/intro_ir.dir/ProgramBuilder.cpp.o.d"
+  "/root/repo/src/ir/SouffleExport.cpp" "src/ir/CMakeFiles/intro_ir.dir/SouffleExport.cpp.o" "gcc" "src/ir/CMakeFiles/intro_ir.dir/SouffleExport.cpp.o.d"
+  "/root/repo/src/ir/Validator.cpp" "src/ir/CMakeFiles/intro_ir.dir/Validator.cpp.o" "gcc" "src/ir/CMakeFiles/intro_ir.dir/Validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/intro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

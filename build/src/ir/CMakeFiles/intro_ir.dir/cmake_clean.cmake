@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intro_ir.dir/Facts.cpp.o"
+  "CMakeFiles/intro_ir.dir/Facts.cpp.o.d"
+  "CMakeFiles/intro_ir.dir/FactsIO.cpp.o"
+  "CMakeFiles/intro_ir.dir/FactsIO.cpp.o.d"
+  "CMakeFiles/intro_ir.dir/Interpreter.cpp.o"
+  "CMakeFiles/intro_ir.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/intro_ir.dir/Program.cpp.o"
+  "CMakeFiles/intro_ir.dir/Program.cpp.o.d"
+  "CMakeFiles/intro_ir.dir/ProgramBuilder.cpp.o"
+  "CMakeFiles/intro_ir.dir/ProgramBuilder.cpp.o.d"
+  "CMakeFiles/intro_ir.dir/SouffleExport.cpp.o"
+  "CMakeFiles/intro_ir.dir/SouffleExport.cpp.o.d"
+  "CMakeFiles/intro_ir.dir/Validator.cpp.o"
+  "CMakeFiles/intro_ir.dir/Validator.cpp.o.d"
+  "libintro_ir.a"
+  "libintro_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intro_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

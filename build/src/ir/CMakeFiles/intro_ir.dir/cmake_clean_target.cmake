@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libintro_ir.a"
+)

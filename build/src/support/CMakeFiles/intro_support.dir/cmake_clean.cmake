@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intro_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/intro_support.dir/StringInterner.cpp.o.d"
+  "CMakeFiles/intro_support.dir/TableWriter.cpp.o"
+  "CMakeFiles/intro_support.dir/TableWriter.cpp.o.d"
+  "CMakeFiles/intro_support.dir/TupleInterner.cpp.o"
+  "CMakeFiles/intro_support.dir/TupleInterner.cpp.o.d"
+  "libintro_support.a"
+  "libintro_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intro_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intro_workload.dir/DaCapo.cpp.o"
+  "CMakeFiles/intro_workload.dir/DaCapo.cpp.o.d"
+  "CMakeFiles/intro_workload.dir/Generator.cpp.o"
+  "CMakeFiles/intro_workload.dir/Generator.cpp.o.d"
+  "CMakeFiles/intro_workload.dir/Random.cpp.o"
+  "CMakeFiles/intro_workload.dir/Random.cpp.o.d"
+  "libintro_workload.a"
+  "libintro_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intro_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_tests.dir/ClientTests.cpp.o"
+  "CMakeFiles/client_tests.dir/ClientTests.cpp.o.d"
+  "client_tests"
+  "client_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_policy_tests.dir/ContextPolicyTests.cpp.o"
+  "CMakeFiles/context_policy_tests.dir/ContextPolicyTests.cpp.o.d"
+  "context_policy_tests"
+  "context_policy_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_policy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

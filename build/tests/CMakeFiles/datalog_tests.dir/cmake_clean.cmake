@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_tests.dir/DatalogTests.cpp.o"
+  "CMakeFiles/datalog_tests.dir/DatalogTests.cpp.o.d"
+  "datalog_tests"
+  "datalog_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_case_tests.dir/EdgeCaseTests.cpp.o"
+  "CMakeFiles/edge_case_tests.dir/EdgeCaseTests.cpp.o.d"
+  "edge_case_tests"
+  "edge_case_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_case_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

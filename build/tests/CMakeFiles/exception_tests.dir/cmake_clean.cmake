@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exception_tests.dir/ExceptionTests.cpp.o"
+  "CMakeFiles/exception_tests.dir/ExceptionTests.cpp.o.d"
+  "exception_tests"
+  "exception_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exception_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

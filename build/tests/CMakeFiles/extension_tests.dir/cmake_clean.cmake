@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_tests.dir/ExtensionTests.cpp.o"
+  "CMakeFiles/extension_tests.dir/ExtensionTests.cpp.o.d"
+  "extension_tests"
+  "extension_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_tests.dir/GoldenTests.cpp.o"
+  "CMakeFiles/golden_tests.dir/GoldenTests.cpp.o.d"
+  "golden_tests"
+  "golden_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ImportanceTests.cpp" "tests/CMakeFiles/importance_tests.dir/ImportanceTests.cpp.o" "gcc" "tests/CMakeFiles/importance_tests.dir/ImportanceTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/intro_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/intro_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/intro_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/intro_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/introspect/CMakeFiles/intro_introspect.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/intro_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/importance_tests.dir/ImportanceTests.cpp.o"
+  "CMakeFiles/importance_tests.dir/ImportanceTests.cpp.o.d"
+  "importance_tests"
+  "importance_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/importance_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

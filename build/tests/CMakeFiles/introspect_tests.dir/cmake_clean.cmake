@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/introspect_tests.dir/IntrospectTests.cpp.o"
+  "CMakeFiles/introspect_tests.dir/IntrospectTests.cpp.o.d"
+  "introspect_tests"
+  "introspect_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/introspect_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

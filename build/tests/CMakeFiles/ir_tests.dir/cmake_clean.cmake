@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_tests.dir/IrTests.cpp.o"
+  "CMakeFiles/ir_tests.dir/IrTests.cpp.o.d"
+  "ir_tests"
+  "ir_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_tests.dir/OracleTests.cpp.o"
+  "CMakeFiles/oracle_tests.dir/OracleTests.cpp.o.d"
+  "oracle_tests"
+  "oracle_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_tests.dir/PropertyTests.cpp.o"
+  "CMakeFiles/property_tests.dir/PropertyTests.cpp.o.d"
+  "property_tests"
+  "property_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_tests.dir/ShapeTests.cpp.o"
+  "CMakeFiles/shape_tests.dir/ShapeTests.cpp.o.d"
+  "shape_tests"
+  "shape_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

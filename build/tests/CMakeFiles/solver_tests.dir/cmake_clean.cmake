@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_tests.dir/SolverTests.cpp.o"
+  "CMakeFiles/solver_tests.dir/SolverTests.cpp.o.d"
+  "solver_tests"
+  "solver_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
