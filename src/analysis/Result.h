@@ -27,9 +27,11 @@ namespace intro {
 
 /// Why the solver stopped.
 enum class SolveStatus : uint8_t {
-  Completed,           ///< Fixpoint reached.
-  TupleBudgetExceeded, ///< Relation sizes blew past the budget ("timeout").
-  TimeBudgetExceeded,  ///< Wall clock blew past the budget ("timeout").
+  Completed,            ///< Fixpoint reached.
+  TupleBudgetExceeded,  ///< Relation sizes blew past the budget ("timeout").
+  TimeBudgetExceeded,   ///< Wall clock blew past the budget ("timeout").
+  MemoryBudgetExceeded, ///< Approximate solver footprint blew past MaxBytes.
+  Cancelled,            ///< Aborted via a CancellationToken, not a budget.
 };
 
 /// \returns true if \p Status denotes a completed (non-timeout) run.
@@ -37,12 +39,33 @@ inline bool isCompleted(SolveStatus Status) {
   return Status == SolveStatus::Completed;
 }
 
-/// Resource budget for a solver run.  Exceeding either limit aborts the run
-/// with a timeout status; the paper's blow-ups are detected primarily via
-/// the (machine-independent) tuple limit.
+/// \returns a stable human-readable name for \p Status.
+inline const char *statusName(SolveStatus Status) {
+  switch (Status) {
+  case SolveStatus::Completed:
+    return "Completed";
+  case SolveStatus::TupleBudgetExceeded:
+    return "TupleBudgetExceeded";
+  case SolveStatus::TimeBudgetExceeded:
+    return "TimeBudgetExceeded";
+  case SolveStatus::MemoryBudgetExceeded:
+    return "MemoryBudgetExceeded";
+  case SolveStatus::Cancelled:
+    return "Cancelled";
+  }
+  return "?";
+}
+
+/// Resource budget for a solver run.  Exceeding any limit aborts the run
+/// with the matching exhaustion status; the paper's blow-ups are detected
+/// primarily via the (machine-independent) tuple limit.
 struct SolveBudget {
   uint64_t MaxTuples = 100'000'000; ///< VarPointsTo + FldPointsTo tuples.
   double MaxSeconds = 300.0;        ///< Wall-clock limit.
+  /// Approximate solver heap footprint limit in bytes (nodes, points-to
+  /// sets, edges, and index entries; book-kept incrementally, not measured
+  /// from the allocator).  0 disables the limit.
+  uint64_t MaxBytes = 0;
 };
 
 /// Size/performance counters of a solver run.
@@ -60,6 +83,7 @@ struct SolverStats {
   uint64_t ReachableMethodContexts = 0; ///< |REACHABLE| (meth, ctx) pairs.
   uint64_t CallGraphEdges = 0;      ///< Insensitive (site, target) edges.
   uint64_t WorklistPops = 0;        ///< Solver iterations.
+  uint64_t ApproxBytes = 0;         ///< Book-kept solver footprint estimate.
 };
 
 /// The result of a points-to analysis run.
@@ -109,23 +133,34 @@ public:
 
   /// \returns true if \p Method is reachable in any context.
   bool isReachable(MethodId Method) const {
-    return Method.index() < MethodReachable.size() &&
-           MethodReachable[Method.index()];
+    return Method.raw() < MethodReachable.size() &&
+           MethodReachable[Method.raw()];
   }
 
   /// \returns the heaps that \p Var may point to (contexts collapsed).
+  /// Out-of-range (or invalid) ids yield the shared empty set.
   const SortedIdSet &pointsTo(VarId Var) const {
-    return VarHeaps[Var.index()];
+    return Var.raw() < VarHeaps.size() ? VarHeaps[Var.raw()] : emptySet();
   }
 
   /// \returns the methods that the call at \p Site may invoke.
+  /// Out-of-range (or invalid) ids yield the shared empty set.
   const SortedIdSet &callTargets(SiteId Site) const {
-    return SiteTargets[Site.index()];
+    return Site.raw() < SiteTargets.size() ? SiteTargets[Site.raw()]
+                                           : emptySet();
   }
 
   /// \returns the exception objects escaping \p Method (ctxs collapsed).
+  /// Out-of-range (or invalid) ids yield the shared empty set.
   const SortedIdSet &throwsOf(MethodId Method) const {
-    return MethodThrows[Method.index()];
+    return Method.raw() < MethodThrows.size() ? MethodThrows[Method.raw()]
+                                              : emptySet();
+  }
+
+  /// The shared empty set returned for ids outside the analyzed program.
+  static const SortedIdSet &emptySet() {
+    static const SortedIdSet Empty;
+    return Empty;
   }
 
   /// Packs a FieldHeaps key.

@@ -61,14 +61,13 @@ public:
 
     uint64_t Checkpoint = 0;
     while (!PendingReachable.empty() || !Worklist.empty()) {
-      // The tuple budget is cheap to test, so test it every iteration; the
-      // clock only every 1024 to keep the hot loop lean.
-      if (TotalTuples > Opts.Budget.MaxTuples ||
-          (++Checkpoint % 1024 == 0 && budgetExceeded())) {
-        if (Status == SolveStatus::Completed)
-          Status = SolveStatus::TupleBudgetExceeded;
+      // The tuple/memory budgets and the fault plan are cheap integer tests,
+      // so test them every iteration; the clock costs a syscall and runs
+      // only every 1024 iterations; cancellation is a relaxed atomic load,
+      // polled every CancelInterval iterations.
+      ++Checkpoint;
+      if (stopRequested(Checkpoint))
         break;
-      }
       if (!PendingReachable.empty()) {
         auto [Method, Ctx] = PendingReachable.back();
         PendingReachable.pop_back();
@@ -81,27 +80,51 @@ public:
   }
 
 private:
-  // --- Budget ------------------------------------------------------------
+  // --- Budget, fault injection, and cancellation -------------------------
 
-  bool budgetExceeded() {
-    if (TotalTuples > Opts.Budget.MaxTuples) {
+  /// Tests every stop condition, cheapest first.  Sets Status and \returns
+  /// true if the run must abort at this iteration.
+  bool stopRequested(uint64_t Checkpoint) {
+    if (Opts.Faults.FailAtPop != 0 && Pops >= Opts.Faults.FailAtPop &&
+        Opts.Faults.FailStatus != SolveStatus::Completed) {
+      Status = Opts.Faults.FailStatus;
+      return true;
+    }
+    if (TotalTuples * Opts.Faults.TupleInflation > Opts.Budget.MaxTuples) {
       Status = SolveStatus::TupleBudgetExceeded;
       return true;
     }
-    if (Clock.seconds() > Opts.Budget.MaxSeconds) {
+    if (Opts.Budget.MaxBytes != 0 && ApproxBytes > Opts.Budget.MaxBytes) {
+      Status = SolveStatus::MemoryBudgetExceeded;
+      return true;
+    }
+    if (Checkpoint % 1024 == 0 && Clock.seconds() > Opts.Budget.MaxSeconds) {
       Status = SolveStatus::TimeBudgetExceeded;
+      return true;
+    }
+    if (Opts.Cancel &&
+        (Opts.CancelInterval <= 1 || Checkpoint % Opts.CancelInterval == 0) &&
+        Opts.Cancel->isCancelled()) {
+      Status = SolveStatus::Cancelled;
       return true;
     }
     return false;
   }
+
+  /// Estimated bytes of hash-map bookkeeping per index entry (bucket slot,
+  /// key/value pair, chaining pointer).  A constant so that the memory
+  /// budget is deterministic across platforms and allocators.
+  static constexpr uint64_t IndexEntryBytes = 48;
 
   // --- Node and object interning ------------------------------------------
 
   uint32_t getObject(HeapId Heap, HCtxId HCtx) {
     uint64_t Key = pack(Heap.index(), HCtx.index());
     auto [It, Inserted] = ObjIndex.emplace(Key, Objects.size());
-    if (Inserted)
+    if (Inserted) {
       Objects.push_back({Heap.index(), HCtx.index()});
+      ApproxBytes += sizeof(Objects[0]) + IndexEntryBytes;
+    }
     return It->second;
   }
 
@@ -111,6 +134,8 @@ private:
     Nodes.back().CtxRaw = CtxRaw;
     NodeKind.push_back(Kind);
     NodeKey.push_back(Key);
+    ApproxBytes += sizeof(Node) + sizeof(uint8_t) + sizeof(uint64_t) +
+                   IndexEntryBytes;
     return Index;
   }
 
@@ -171,6 +196,7 @@ private:
     if (!setInsert(Nodes[N].Pts, Object))
       return false;
     ++TotalTuples;
+    ApproxBytes += 2 * sizeof(uint32_t); // Pts + Delta entries.
     setInsert(Nodes[N].Delta, Object);
     pushWorklist(N);
     return true;
@@ -182,6 +208,7 @@ private:
       return; // pts(n) <= pts(n) holds trivially.
     if (!setInsert(Nodes[Src].Succ, Dst))
       return;
+    ApproxBytes += sizeof(uint32_t);
     // Propagate the full current set; snapshot it because addObjectTo may
     // reallocate Nodes.
     SortedIdSet Snapshot = Nodes[Src].Pts;
@@ -207,6 +234,7 @@ private:
     if (It != Edges.end() && *It == Packed)
       return;
     Edges.insert(It, Packed);
+    ApproxBytes += sizeof(uint64_t);
     SortedIdSet Snapshot = Nodes[Src].Pts;
     for (uint32_t Object : Snapshot)
       if (castAdmits(Object, FilterType.index()) != Negated)
@@ -328,6 +356,7 @@ private:
       return;
     ReachableList.push_back({Method.index(), Ctx.index()});
     PendingReachable.push_back({Method.index(), Ctx.index()});
+    ApproxBytes += 2 * sizeof(ReachableList[0]) + IndexEntryBytes;
   }
 
   /// Applies the body of \p Method under \p Ctx: the ALLOC/MOVE rules fire
@@ -356,6 +385,7 @@ private:
         uint32_t Base = varNode(Instr.Base, Ctx);
         uint32_t Dst = varNode(Instr.To, Ctx);
         Nodes[Base].LoadUses.push_back({Instr.Field.index(), Dst});
+        ApproxBytes += sizeof(Nodes[Base].LoadUses[0]);
         SortedIdSet Snapshot = Nodes[Base].Pts;
         for (uint32_t Object : Snapshot)
           addEdge(fieldNode(Object, Instr.Field), Dst);
@@ -365,6 +395,7 @@ private:
         uint32_t Base = varNode(Instr.Base, Ctx);
         uint32_t Src = varNode(Instr.From, Ctx);
         Nodes[Base].StoreUses.push_back({Instr.Field.index(), Src});
+        ApproxBytes += sizeof(Nodes[Base].StoreUses[0]);
         SortedIdSet Snapshot = Nodes[Base].Pts;
         for (uint32_t Object : Snapshot)
           addEdge(Src, fieldNode(Object, Instr.Field));
@@ -391,6 +422,7 @@ private:
         }
         uint32_t Base = varNode(Site.Base, Ctx);
         Nodes[Base].CallUses.push_back(Instr.Site.index());
+        ApproxBytes += sizeof(uint32_t);
         SortedIdSet Snapshot = Nodes[Base].Pts;
         for (uint32_t Object : Snapshot)
           dispatch(Instr.Site, Ctx, Object);
@@ -509,6 +541,7 @@ private:
     Result.Stats.ReachableMethodContexts = ReachableList.size();
     Result.Stats.CallGraphEdges = CallEdgeProjection.size();
     Result.Stats.WorklistPops = Pops;
+    Result.Stats.ApproxBytes = ApproxBytes;
     return Result;
   }
 
@@ -540,6 +573,7 @@ private:
   std::set<std::array<uint32_t, 4>> CallGraphTuples;
 
   uint64_t TotalTuples = 0;
+  uint64_t ApproxBytes = 0;
   uint64_t Pops = 0;
   SolveStatus Status = SolveStatus::Completed;
 };

@@ -30,11 +30,36 @@
 
 #include "analysis/Context.h"
 #include "analysis/Result.h"
+#include "support/Cancellation.h"
 
 namespace intro {
 
 class ContextPolicy;
 class Program;
+
+/// Deterministic fault injection for resilience tests.  A FaultPlan makes a
+/// solver run fail (or *look* expensive) at an exact, reproducible point, so
+/// every rung of the degradation ladder can be exercised without building
+/// programs that genuinely blow up.  Default-constructed plans are inert.
+struct FaultPlan {
+  /// Force the run to stop with FailStatus once this many worklist pops have
+  /// happened.  0 disables the fault.
+  uint64_t FailAtPop = 0;
+  /// The status reported when the FailAtPop fault fires.  Must be a
+  /// non-completed status; Completed is treated as "no fault".
+  SolveStatus FailStatus = SolveStatus::TupleBudgetExceeded;
+  /// Pathological metric inflation: the tuple count is multiplied by this
+  /// factor when tested against SolveBudget::MaxTuples, making the budget
+  /// trip early as if the points-to sets had exploded.  Reported statistics
+  /// stay honest; only budget enforcement is inflated.  1 disables.
+  uint64_t TupleInflation = 1;
+
+  /// \returns true if any fault is armed.
+  bool armed() const {
+    return (FailAtPop != 0 && FailStatus != SolveStatus::Completed) ||
+           TupleInflation > 1;
+  }
+};
 
 /// Options controlling a solver run.
 struct SolverOptions {
@@ -48,6 +73,17 @@ struct SolverOptions {
   /// the dataflow).  Off by default — the paper's model treats casts as
   /// moves.
   bool FilterCasts = false;
+  /// Optional cooperative cancellation.  When set, the worklist loop polls
+  /// the token every CancelInterval iterations and stops with
+  /// SolveStatus::Cancelled (a sound-prefix result, like a budget stop).
+  /// The token must outlive the run.
+  const CancellationToken *Cancel = nullptr;
+  /// How many worklist iterations between cancellation polls.  Small values
+  /// tighten the response latency; the poll is a relaxed atomic load, so
+  /// even 1 is affordable.
+  uint32_t CancelInterval = 64;
+  /// Deterministic fault injection (tests only; inert by default).
+  FaultPlan Faults;
 };
 
 /// Runs the points-to analysis on \p Prog under \p Policy.

@@ -24,6 +24,8 @@ intro::runIntrospective(const Program &Prog,
     ContextTable Table;
     SolverOptions SolverOpts;
     SolverOpts.Budget = Options.FirstPassBudget;
+    SolverOpts.Cancel = Options.Cancel;
+    SolverOpts.Faults = Options.FirstPassFaults;
     Out.FirstPass = solvePointsTo(Prog, *Insensitive, Table, SolverOpts);
     Out.FirstPassSeconds = Clock.seconds();
   }
@@ -52,6 +54,8 @@ intro::runIntrospective(const Program &Prog,
     ContextTable Table;
     SolverOptions SolverOpts;
     SolverOpts.Budget = Options.SecondPassBudget;
+    SolverOpts.Cancel = Options.Cancel;
+    SolverOpts.Faults = Options.SecondPassFaults;
     Out.SecondPass = solvePointsTo(Prog, *Policy, Table, SolverOpts);
     Out.SecondPassSeconds = Clock.seconds();
   }

@@ -38,6 +38,12 @@ struct IntrospectiveOptions {
   SolveBudget FirstPassBudget;
   /// Budget for the refined second pass (the paper's 90-min timeout).
   SolveBudget SecondPassBudget;
+  /// Optional cooperative cancellation, polled by both passes.  The token
+  /// must outlive the run.
+  const CancellationToken *Cancel = nullptr;
+  /// Deterministic fault injection per pass (tests only; inert by default).
+  FaultPlan FirstPassFaults;
+  FaultPlan SecondPassFaults;
 };
 
 /// Everything an introspective run produces.

@@ -1,0 +1,224 @@
+//===- introspect/Resilient.cpp - Degradation-ladder driver ---------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "introspect/Resilient.h"
+
+#include "ir/Program.h"
+#include "support/TableWriter.h"
+#include "support/Timer.h"
+
+#include <cmath>
+#include <sstream>
+
+using namespace intro;
+
+const char *intro::degradationLevelName(DegradationLevel Level) {
+  switch (Level) {
+  case DegradationLevel::Deep:
+    return "deep";
+  case DegradationLevel::IntroB:
+    return "introB";
+  case DegradationLevel::IntroA:
+    return "introA";
+  case DegradationLevel::TightenedIntroA:
+    return "introA-tightened";
+  case DegradationLevel::Insensitive:
+    return "insensitive";
+  }
+  return "?";
+}
+
+std::string intro::formatAttemptTrace(const AttemptTrace &Trace) {
+  TableWriter Table(
+      {"#", "level", "analysis", "status", "seconds", "tuples", "pops"});
+  for (size_t Index = 0; Index < Trace.size(); ++Index) {
+    const Attempt &A = Trace[Index];
+    std::string Level = degradationLevelName(A.Level);
+    if (A.TightenedRound > 0)
+      Level += "#" + std::to_string(A.TightenedRound);
+    Table.addRow({TableWriter::num(static_cast<uint64_t>(Index + 1)), Level,
+                  A.AnalysisName, statusName(A.Status),
+                  TableWriter::num(A.Seconds, 3),
+                  TableWriter::num(A.Stats.VarPointsToTuples +
+                                   A.Stats.FieldPointsToTuples),
+                  TableWriter::num(A.Stats.WorklistPops)});
+  }
+  std::ostringstream Out;
+  Table.print(Out);
+  return Out.str();
+}
+
+namespace {
+
+/// Divides every Heuristic A threshold by BackoffMultiplier^Round.  A
+/// multiplier that cannot tighten (non-finite, zero, negative, or below 1)
+/// is clamped to 1 — otherwise the double-to-integer casts below would be
+/// undefined behavior on the inf/negative quotients it produces.
+HeuristicAParams tightened(const HeuristicAParams &Base, double Multiplier,
+                           uint32_t Round) {
+  double Factor = std::pow(Multiplier, Round);
+  if (!std::isfinite(Factor) || Factor < 1.0)
+    Factor = 1.0;
+  HeuristicAParams Params;
+  Params.K = static_cast<uint64_t>(static_cast<double>(Base.K) / Factor);
+  Params.L = static_cast<uint64_t>(static_cast<double>(Base.L) / Factor);
+  Params.M = static_cast<uint64_t>(static_cast<double>(Base.M) / Factor);
+  return Params;
+}
+
+/// Shared per-run state of the ladder walk.
+class Ladder {
+public:
+  Ladder(const Program &Prog, const ContextPolicy &RefinedPolicy,
+         const ResilientOptions &Options)
+      : Prog(Prog), Refined(RefinedPolicy), Options(Options) {}
+
+  ResilientOutcome run() {
+    Timer Total;
+    auto Insensitive = makeInsensitivePolicy();
+
+    // Rung 1: the refined deep analysis as given.
+    if (Options.AttemptDeep &&
+        finished(DegradationLevel::Deep,
+                 attempt(DegradationLevel::Deep, Refined, Options.DeepBudget)))
+      return seal(Total);
+    if (Stopped) // Cancelled mid-deep: do not start cheaper work.
+      return seal(Total);
+
+    // The insensitive pre-analysis: needed by every introspective rung and
+    // simultaneously the ladder's last resort.  Run it once, up front.
+    PointsToResult FirstPass = attempt(DegradationLevel::Insensitive,
+                                       *Insensitive, Options.FirstPassBudget);
+    if (!isCompleted(FirstPass.Status)) {
+      // Nothing cheaper exists: return the partial insensitive result.
+      Out.Cancelled = FirstPass.Status == SolveStatus::Cancelled;
+      Out.Result = std::move(FirstPass);
+      Out.Level = DegradationLevel::Insensitive;
+      return seal(Total);
+    }
+
+    // Introspective rungs share the metrics of the first pass.
+    Timer MetricClock;
+    Out.Metrics = computeIntrospectionMetrics(Prog, FirstPass);
+    Out.MetricSeconds = MetricClock.seconds();
+
+    if (Options.AttemptIntroB &&
+        introAttempt(DegradationLevel::IntroB, "-IntroB",
+                     applyHeuristicB(Prog, FirstPass, Out.Metrics,
+                                     Options.ParamsB),
+                     *Insensitive))
+      return seal(Total);
+
+    if (!Stopped && Options.AttemptIntroA &&
+        introAttempt(DegradationLevel::IntroA, "-IntroA",
+                     applyHeuristicA(Prog, FirstPass, Out.Metrics,
+                                     Options.ParamsA),
+                     *Insensitive))
+      return seal(Total);
+
+    for (uint32_t Round = 1; !Stopped && Round <= Options.TightenedRounds;
+         ++Round) {
+      HeuristicAParams Params =
+          tightened(Options.ParamsA, Options.BackoffMultiplier, Round);
+      std::string Suffix = "-IntroA-tight" + std::to_string(Round);
+      if (introAttempt(DegradationLevel::TightenedIntroA, Suffix.c_str(),
+                       applyHeuristicA(Prog, FirstPass, Out.Metrics, Params),
+                       *Insensitive, Round))
+        return seal(Total);
+    }
+
+    // Every refined rung failed (or the ladder was cancelled): fall back to
+    // the completed insensitive pre-analysis, the deepest completed result.
+    Out.Result = std::move(FirstPass);
+    Out.Level = DegradationLevel::Insensitive;
+    Out.Exceptions = RefinementExceptions();
+    return seal(Total);
+  }
+
+private:
+  /// Runs one solver attempt and records it in the trace.
+  PointsToResult attempt(DegradationLevel Level, const ContextPolicy &Policy,
+                         const SolveBudget &Budget, uint32_t Round = 0) {
+    ContextTable Table;
+    SolverOptions SolverOpts;
+    SolverOpts.Budget = Budget;
+    SolverOpts.Cancel = Options.Cancel;
+    SolverOpts.CancelInterval = Options.CancelInterval;
+    SolverOpts.Faults = Options.faultsFor(Level);
+    Timer Clock;
+    PointsToResult R = solvePointsTo(Prog, Policy, Table, SolverOpts);
+    Out.Trace.push_back(
+        {Level, R.AnalysisName, R.Status, R.Stats, Clock.seconds(), Round});
+    return R;
+  }
+
+  /// If \p R completed, installs it as the outcome (it is the deepest rung
+  /// reached so far, by construction).  If \p R was cancelled, stops the
+  /// ladder: the caller wants out, not a cheaper answer.  \returns true if
+  /// the walk is over with a completed result.
+  bool finished(DegradationLevel Level, PointsToResult R,
+                RefinementExceptions Exceptions = {}) {
+    if (isCompleted(R.Status)) {
+      Out.Result = std::move(R);
+      Out.Level = Level;
+      Out.Exceptions = std::move(Exceptions);
+      return true;
+    }
+    if (R.Status == SolveStatus::Cancelled) {
+      Out.Cancelled = true;
+      // Keep the partial result provisionally; a completed insensitive
+      // pre-analysis (if one exists) replaces it on the fallback path.
+      Out.Result = std::move(R);
+      Out.Level = Level;
+      Stopped = true;
+    }
+    return false;
+  }
+
+  /// Between-rung cancellation check: even if no solver poll observed the
+  /// token (long CancelInterval, fast attempts), the ladder must not start
+  /// another expensive attempt after a cancel.
+  bool ladderCancelled() {
+    if (!Stopped && Options.Cancel && Options.Cancel->isCancelled()) {
+      Out.Cancelled = true;
+      Stopped = true;
+    }
+    return Stopped;
+  }
+
+  /// Runs one introspective rung: installs \p Exceptions into the refined
+  /// policy and solves under the refined budget.  \returns true if the
+  /// ladder is done (rung completed).
+  bool introAttempt(DegradationLevel Level, const char *NameSuffix,
+                    RefinementExceptions Exceptions,
+                    const ContextPolicy &Insensitive, uint32_t Round = 0) {
+    if (ladderCancelled())
+      return false;
+    auto Policy = makeIntrospectivePolicy(Refined.name() + NameSuffix,
+                                          Insensitive, Refined, Exceptions);
+    PointsToResult R = attempt(Level, *Policy, Options.RefinedBudget, Round);
+    return finished(Level, std::move(R), std::move(Exceptions));
+  }
+
+  ResilientOutcome seal(const Timer &Total) {
+    Out.TotalSeconds = Total.seconds();
+    return std::move(Out);
+  }
+
+  const Program &Prog;
+  const ContextPolicy &Refined;
+  const ResilientOptions &Options;
+  ResilientOutcome Out;
+  bool Stopped = false; ///< Cancellation fired; no further rungs.
+};
+
+} // namespace
+
+ResilientOutcome intro::runResilient(const Program &Prog,
+                                     const ContextPolicy &RefinedPolicy,
+                                     const ResilientOptions &Options) {
+  return Ladder(Prog, RefinedPolicy, Options).run();
+}

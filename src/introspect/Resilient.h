@@ -1,0 +1,167 @@
+//===- introspect/Resilient.h - Degradation-ladder driver -------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A resilience layer around the solver and the introspective driver.  The
+/// paper's central observation is that deep context-sensitive analyses are
+/// *bimodal*: they either scale or explode.  A service cannot simply report
+/// "TupleBudgetExceeded" and return a useless result; it must degrade to the
+/// strongest analysis that completes.  runResilient() walks a ladder of
+/// progressively cheaper configurations:
+///
+///   1. the refined deep analysis as given (e.g. plain 2objH),
+///   2. introspective Heuristic B (sacrifices the least precision),
+///   3. introspective Heuristic A (more aggressive),
+///   4. Heuristic A with exponentially tightened thresholds (a backoff
+///      multiplier shrinks K/L/M each round, excluding ever more elements
+///      from refinement),
+///   5. the context-insensitive result (always cheap; doubles as the
+///      pre-analysis the introspective rungs already need).
+///
+/// Every attempt — including failed ones — is recorded in an AttemptTrace;
+/// the outcome carries the deepest completed result tagged with its
+/// DegradationLevel.  Cancellation stops the ladder immediately instead of
+/// degrading further: a caller that asked to stop does not want a cheaper
+/// answer, it wants to stop.
+///
+/// Deterministic fault injection (FaultPlan, per rung) lets tests exercise
+/// every rung without constructing programs that genuinely blow up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INTROSPECT_RESILIENT_H
+#define INTROSPECT_RESILIENT_H
+
+#include "introspect/Driver.h"
+
+#include <array>
+
+namespace intro {
+
+/// The rungs of the degradation ladder, in descending analysis strength.
+/// Also indexes ResilientOptions::LevelFaults.
+enum class DegradationLevel : uint8_t {
+  Deep = 0,        ///< The refined policy as given, no introspection.
+  IntroB,          ///< Introspective Heuristic B.
+  IntroA,          ///< Introspective Heuristic A.
+  TightenedIntroA, ///< Heuristic A with backoff-tightened thresholds.
+  Insensitive,     ///< The context-insensitive pre-analysis itself.
+};
+
+/// Number of DegradationLevel values.
+inline constexpr size_t NumDegradationLevels = 5;
+
+/// \returns a stable human-readable name for \p Level.
+const char *degradationLevelName(DegradationLevel Level);
+
+/// One solver attempt of a resilient run, completed or not.
+struct Attempt {
+  DegradationLevel Level;   ///< The rung this attempt belongs to.
+  std::string AnalysisName; ///< Solver-reported analysis name.
+  SolveStatus Status;       ///< How the attempt ended.
+  SolverStats Stats;        ///< Full solver counters of the attempt.
+  double Seconds = 0;       ///< Wall-clock cost of the attempt.
+  /// For TightenedIntroA: the 1-based tightening round; 0 otherwise.
+  uint32_t TightenedRound = 0;
+};
+
+/// The chronological record of every attempt of a resilient run.  Note the
+/// insensitive pre-analysis runs *second* (right after the deep attempt),
+/// because the introspective rungs need its result; it is recorded at that
+/// position with Level == Insensitive.
+using AttemptTrace = std::vector<Attempt>;
+
+/// Renders \p Trace as an aligned ASCII table (one row per attempt).
+std::string formatAttemptTrace(const AttemptTrace &Trace);
+
+/// Options of a resilient run.
+struct ResilientOptions {
+  /// Budget of the deep (rung 1) attempt.
+  SolveBudget DeepBudget;
+  /// Budget of each introspective second pass (rungs 2-4).
+  SolveBudget RefinedBudget;
+  /// Budget of the context-insensitive pre-analysis / final rung.
+  SolveBudget FirstPassBudget;
+
+  /// Rungs can be skipped, e.g. a service that knows the deep analysis
+  /// never scales on its workload starts directly at an introspective rung.
+  bool AttemptDeep = true;
+  bool AttemptIntroB = true;
+  bool AttemptIntroA = true;
+  /// How many tightened-Heuristic-A rounds to try before giving up and
+  /// falling back to the insensitive result.
+  uint32_t TightenedRounds = 2;
+  /// Each tightening round divides Heuristic A's K/L/M thresholds by this
+  /// factor (exponential backoff), excluding ever more elements from
+  /// refinement.  Must be > 1; values that cannot tighten (non-finite,
+  /// <= 1) are treated as 1, i.e. the rounds repeat the base thresholds.
+  double BackoffMultiplier = 4.0;
+
+  /// Heuristic thresholds of the first IntroA/IntroB rungs.
+  HeuristicAParams ParamsA;
+  HeuristicBParams ParamsB;
+
+  /// Optional cooperative cancellation, polled inside every attempt and
+  /// between rungs.  When it fires the ladder stops immediately — a caller
+  /// that asked to stop does not want a cheaper answer — and the outcome
+  /// falls back to the insensitive pre-analysis if that already completed.
+  /// The token must outlive the run.
+  const CancellationToken *Cancel = nullptr;
+  /// In-solver cancellation poll interval (SolverOptions::CancelInterval).
+  uint32_t CancelInterval = 64;
+
+  /// Deterministic fault injection, indexed by DegradationLevel (tests
+  /// only; inert by default).  The Insensitive entry applies to the
+  /// pre-analysis run.  The TightenedIntroA entry applies to every
+  /// tightening round.
+  std::array<FaultPlan, NumDegradationLevels> LevelFaults{};
+
+  /// \returns the fault plan of \p Level.
+  const FaultPlan &faultsFor(DegradationLevel Level) const {
+    return LevelFaults[static_cast<size_t>(Level)];
+  }
+  FaultPlan &faultsFor(DegradationLevel Level) {
+    return LevelFaults[static_cast<size_t>(Level)];
+  }
+};
+
+/// Everything a resilient run produces.
+struct ResilientOutcome {
+  /// The deepest completed result — or, if nothing completed (every rung
+  /// failed or the run was cancelled), the last partial result, whose
+  /// Status says why.
+  PointsToResult Result;
+  /// The rung Result came from.
+  DegradationLevel Level = DegradationLevel::Insensitive;
+  /// Chronological record of every attempt, completed or not.
+  AttemptTrace Trace;
+  /// True if the ladder was stopped by the cancellation token.
+  bool Cancelled = false;
+  /// Metrics of the insensitive pre-analysis; empty vectors if the deep
+  /// rung succeeded outright (the happy path computes no metrics).
+  IntrospectionMetrics Metrics;
+  /// Refinement exceptions of the winning introspective rung; empty for
+  /// Deep / Insensitive outcomes.
+  RefinementExceptions Exceptions;
+  /// Cost of computing the introspection metrics (0 on the happy path).
+  double MetricSeconds = 0;
+  /// Total wall-clock of the whole ladder (attempts + metrics).
+  double TotalSeconds = 0;
+
+  /// \returns true if Result is a completed (fixpoint) analysis.
+  bool completed() const { return isCompleted(Result.Status); }
+};
+
+/// Runs the degradation ladder on \p Prog with \p RefinedPolicy (e.g.
+/// 2objH) as the deep rung, returning the deepest analysis that completes
+/// within its budget.
+ResilientOutcome
+runResilient(const Program &Prog, const ContextPolicy &RefinedPolicy,
+             const ResilientOptions &Options = ResilientOptions());
+
+} // namespace intro
+
+#endif // INTROSPECT_RESILIENT_H

@@ -360,3 +360,31 @@ TEST(SolverEdge, FilterCastsComposesWithIntrospection) {
   EXPECT_EQ(R.Status, SolveStatus::Completed);
   EXPECT_FALSE(setContains(R.pointsTo(T.OutA), T.HeapB.index()));
 }
+
+TEST(SolverEdge, OutOfRangeIdsYieldSharedEmptySets) {
+  // Regression: pointsTo/callTargets/throwsOf used to index their
+  // projection tables unchecked, so a stale or foreign id was UB.  They
+  // now answer with the shared empty set.
+  ProgramBuilder B;
+  TypeId Object = B.cls("Object");
+  MethodBuilder Main = B.method(Object, "main", 0, true);
+  B.entry(Main.id());
+  VarId X = Main.local("x");
+  Main.alloc(X, Object);
+  Program P = B.take();
+  auto Policy = makeInsensitivePolicy();
+  ContextTable T;
+  PointsToResult R = solvePointsTo(P, *Policy, T);
+
+  const SortedIdSet &Empty = PointsToResult::emptySet();
+  EXPECT_EQ(&R.pointsTo(VarId(1000)), &Empty);
+  EXPECT_EQ(&R.callTargets(SiteId(1000)), &Empty);
+  EXPECT_EQ(&R.throwsOf(MethodId(1000)), &Empty);
+  // Invalid sentinel ids are handled too, not just out-of-range ones.
+  EXPECT_EQ(&R.pointsTo(VarId::invalid()), &Empty);
+  EXPECT_EQ(&R.callTargets(SiteId::invalid()), &Empty);
+  EXPECT_EQ(&R.throwsOf(MethodId::invalid()), &Empty);
+  EXPECT_FALSE(R.isReachable(MethodId::invalid()));
+  // In-range queries still answer from the real tables.
+  EXPECT_EQ(R.pointsTo(X).size(), 1u);
+}
