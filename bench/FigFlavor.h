@@ -10,25 +10,34 @@
 /// <flavor> } over the six scalability subjects — differing only in the
 /// context-sensitivity flavor.  This header implements the harness once.
 ///
+/// The (subject x analysis) matrix is swept in parallel (bench/Sweep.h):
+/// every cell is an independent solver run over a read-only Program, the
+/// results land in a dense vector indexed by cell, and the tables are
+/// printed afterwards in the fixed subject order — so the output is
+/// byte-identical for any worker count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BENCH_FIGFLAVOR_H
 #define BENCH_FIGFLAVOR_H
 
 #include "BenchCommon.h"
+#include "Sweep.h"
 
 #include <iostream>
 #include <vector>
 
 namespace intro::bench {
 
-/// Emits the paper-style rows for one figure.
+/// Emits the paper-style rows for one figure, fanning the subject x
+/// analysis cells over \p Workers threads.
 inline int runFlavorFigure(Flavor F, const char *FigureName,
-                           const char *ExpectedShape) {
+                           const char *ExpectedShape, unsigned Workers) {
   std::cout << FigureName << ": performance and precision for introspective "
             << flavorName(F) << " variants\n"
             << "(DNF = resource budget exceeded; precision cells of DNF "
-               "runs are '-')\n\n";
+               "runs are '-'; sweep: "
+            << Workers << (Workers == 1 ? " worker)" : " workers)") << "\n\n";
 
   TableWriter Times({"benchmark", "insens", std::string(flavorName(F)) +
                                                 "-IntroA",
@@ -37,19 +46,45 @@ inline int runFlavorFigure(Flavor F, const char *FigureName,
   TableWriter Reach({"benchmark", "insens", "IntroA", "IntroB", "full"});
   TableWriter Casts({"benchmark", "insens", "IntroA", "IntroB", "full"});
 
-  for (const WorkloadProfile &Profile : scalabilitySubjects()) {
-    Program Prog = generateWorkload(Profile);
-    auto Insens = makeInsensitivePolicy();
-    RunOutcome Base = runPlain(Prog, *Insens);
-    RunOutcome IntroA = runIntro(Prog, F, HeuristicKind::A);
-    RunOutcome IntroB = runIntro(Prog, F, HeuristicKind::B);
-    auto Full = makeFlavor(F, Prog);
-    RunOutcome Deep = runPlain(Prog, *Full);
+  // Programs are generated upfront and shared read-only by the cells.
+  std::vector<WorkloadProfile> Subjects = scalabilitySubjects();
+  std::vector<Program> Programs;
+  Programs.reserve(Subjects.size());
+  for (const WorkloadProfile &Profile : Subjects)
+    Programs.push_back(generateWorkload(Profile));
 
-    Times.addRow({Profile.Name, timeCell(Base), timeCell(IntroA),
-                  timeCell(IntroB), timeCell(Deep)});
+  // Cell layout: 4 analyses per subject, insens / IntroA / IntroB / deep.
+  constexpr size_t CellsPerSubject = 4;
+  std::vector<RunOutcome> Cells = runSweep(
+      Subjects.size() * CellsPerSubject, Workers, [&](size_t Index) {
+        const Program &Prog = Programs[Index / CellsPerSubject];
+        switch (Index % CellsPerSubject) {
+        case 0: {
+          auto Insens = makeInsensitivePolicy();
+          return runPlain(Prog, *Insens);
+        }
+        case 1:
+          return runIntro(Prog, F, HeuristicKind::A);
+        case 2:
+          return runIntro(Prog, F, HeuristicKind::B);
+        default: {
+          auto Full = makeFlavor(F, Prog);
+          return runPlain(Prog, *Full);
+        }
+        }
+      });
+
+  for (size_t Subject = 0; Subject < Subjects.size(); ++Subject) {
+    const std::string &Name = Subjects[Subject].Name;
+    const RunOutcome &Base = Cells[Subject * CellsPerSubject + 0];
+    const RunOutcome &IntroA = Cells[Subject * CellsPerSubject + 1];
+    const RunOutcome &IntroB = Cells[Subject * CellsPerSubject + 2];
+    const RunOutcome &Deep = Cells[Subject * CellsPerSubject + 3];
+
+    Times.addRow({Name, timeCell(Base), timeCell(IntroA), timeCell(IntroB),
+                  timeCell(Deep)});
     auto AddPrecision = [&](TableWriter &Table, auto Member) {
-      Table.addRow({Profile.Name, precCell(Base, Base.Precision.*Member),
+      Table.addRow({Name, precCell(Base, Base.Precision.*Member),
                     precCell(IntroA, IntroA.Precision.*Member),
                     precCell(IntroB, IntroB.Precision.*Member),
                     precCell(Deep, Deep.Precision.*Member)});

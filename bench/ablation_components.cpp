@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Sweep.h"
 
 #include "introspect/Custom.h"
 
@@ -74,7 +75,7 @@ RunOutcome runVariant(const Program &Prog, const Variant &V) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   std::cout << "Ablation: which Heuristic A component provides the "
                "scalability?\n2objH-based introspective runs; rules at "
                "paper-default constants.\n\n";
@@ -87,15 +88,29 @@ int main() {
       {"sites only (L+M)", false, true, true},
       {"full A (K+L+M)", true, true, true},
   };
+  const char *Names[] = {"hsqldb", "jython"};
+  const size_t NumVariants = std::size(Variants);
 
-  for (const char *Name : {"hsqldb", "jython"}) {
-    Program Prog = generateWorkload(dacapoProfile(Name));
-    std::cout << "benchmark: " << Name << "\n";
+  std::vector<Program> Programs;
+  for (const char *Name : Names)
+    Programs.push_back(generateWorkload(dacapoProfile(Name)));
+
+  // Sweep the (benchmark, variant) matrix in parallel, print in order.
+  std::vector<RunOutcome> Cells = runSweep(
+      std::size(Names) * NumVariants, sweepWorkers(argc, argv),
+      [&](size_t Index) {
+        return runVariant(Programs[Index / NumVariants],
+                          Variants[Index % NumVariants]);
+      });
+
+  for (size_t Benchmark = 0; Benchmark < std::size(Names); ++Benchmark) {
+    std::cout << "benchmark: " << Names[Benchmark] << "\n";
     TableWriter Table({"rules", "status", "tuples", "poly sites",
                        "casts may fail", "sites excl", "objs excl"});
-    for (const Variant &V : Variants) {
-      RunOutcome Out = runVariant(Prog, V);
-      Table.addRow({V.Label, Out.Completed ? "completed" : "DNF",
+    for (size_t Index = 0; Index < NumVariants; ++Index) {
+      const RunOutcome &Out = Cells[Benchmark * NumVariants + Index];
+      Table.addRow({Variants[Index].Label,
+                    Out.Completed ? "completed" : "DNF",
                     TableWriter::num(Out.Tuples),
                     precCell(Out, Out.Precision.PolymorphicVirtualCallSites),
                     precCell(Out, Out.Precision.CastsThatMayFail),

@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Sweep.h"
 
 #include <iostream>
 
@@ -47,29 +48,46 @@ RunOutcome runWithParams(const Program &Prog, HeuristicKind Kind,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   std::cout << "Ablation: heuristic-constant sensitivity (Section 3 claim\n"
                "that the technique's value does not come from excessive\n"
                "tuning), 2objH-based introspective analyses.\n\n";
 
-  for (const char *Name : {"bloat", "jython"}) {
-    Program Prog = generateWorkload(dacapoProfile(Name));
-    std::cout << "benchmark: " << Name << "\n";
+  // The (benchmark, heuristic, scale) matrix is swept in parallel; rows
+  // are printed afterwards in the fixed nesting order of the old loops.
+  const char *Names[] = {"bloat", "jython"};
+  const HeuristicKind Kinds[] = {HeuristicKind::A, HeuristicKind::B};
+  const double Scales[] = {0.5, 1.0, 2.0};
+  constexpr size_t CellsPerBenchmark = 2 * 3;
+
+  std::vector<Program> Programs;
+  for (const char *Name : Names)
+    Programs.push_back(generateWorkload(dacapoProfile(Name)));
+
+  std::vector<RunOutcome> Cells =
+      runSweep(std::size(Names) * CellsPerBenchmark,
+               sweepWorkers(argc, argv), [&](size_t Index) {
+                 const Program &Prog = Programs[Index / CellsPerBenchmark];
+                 size_t Cell = Index % CellsPerBenchmark;
+                 return runWithParams(Prog, Kinds[Cell / 3], Scales[Cell % 3]);
+               });
+
+  for (size_t Benchmark = 0; Benchmark < std::size(Names); ++Benchmark) {
+    std::cout << "benchmark: " << Names[Benchmark] << "\n";
     TableWriter Table({"heuristic", "scale", "status", "tuples",
                        "poly call sites", "casts may fail",
                        "sites excl", "objs excl"});
-    for (HeuristicKind Kind : {HeuristicKind::A, HeuristicKind::B})
-      for (double Scale : {0.5, 1.0, 2.0}) {
-        RunOutcome Out = runWithParams(Prog, Kind, Scale);
-        Table.addRow(
-            {Kind == HeuristicKind::A ? "A (K,L,M)" : "B (P,Q)",
-             TableWriter::num(Scale, 1) + "x",
-             Out.Completed ? "completed" : "DNF", TableWriter::num(Out.Tuples),
-             precCell(Out, Out.Precision.PolymorphicVirtualCallSites),
-             precCell(Out, Out.Precision.CastsThatMayFail),
-             TableWriter::percent(Out.Refinement.callSitePercent()),
-             TableWriter::percent(Out.Refinement.objectPercent())});
-      }
+    for (size_t Cell = 0; Cell < CellsPerBenchmark; ++Cell) {
+      const RunOutcome &Out = Cells[Benchmark * CellsPerBenchmark + Cell];
+      Table.addRow(
+          {Cell / 3 == 0 ? "A (K,L,M)" : "B (P,Q)",
+           TableWriter::num(Scales[Cell % 3], 1) + "x",
+           Out.Completed ? "completed" : "DNF", TableWriter::num(Out.Tuples),
+           precCell(Out, Out.Precision.PolymorphicVirtualCallSites),
+           precCell(Out, Out.Precision.CastsThatMayFail),
+           TableWriter::percent(Out.Refinement.callSitePercent()),
+           TableWriter::percent(Out.Refinement.objectPercent())});
+    }
     Table.print(std::cout);
     std::cout << "\n";
   }

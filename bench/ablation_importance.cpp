@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Sweep.h"
 
 #include "introspect/Importance.h"
 
@@ -29,7 +30,15 @@ using namespace intro::bench;
 
 namespace {
 
-RunOutcome runGuarded(const Program &Prog, bool WithGuard) {
+/// One analysis cell; Lifted is only meaningful for the guarded run (the
+/// count is returned instead of printed inline so the parallel sweep's
+/// output stays deterministic).
+struct ImportanceCell {
+  RunOutcome Out;
+  uint64_t Lifted = 0;
+};
+
+ImportanceCell runGuarded(const Program &Prog, bool WithGuard) {
   auto Insens = makeInsensitivePolicy();
   ContextTable First;
   PointsToResult Pass1 = solvePointsTo(Prog, *Insens, First);
@@ -51,7 +60,9 @@ RunOutcome runGuarded(const Program &Prog, bool WithGuard) {
   Options.Budget = deepBudget();
   PointsToResult Result = solvePointsTo(Prog, *Policy, Table, Options);
 
-  RunOutcome Outcome;
+  ImportanceCell Cell;
+  Cell.Lifted = Lifted;
+  RunOutcome &Outcome = Cell.Out;
   Outcome.Analysis = WithGuard ? "IntroA+guard" : "IntroA";
   Outcome.Completed = isCompleted(Result.Status);
   Outcome.Seconds = Result.Stats.Seconds;
@@ -59,36 +70,57 @@ RunOutcome runGuarded(const Program &Prog, bool WithGuard) {
       Result.Stats.VarPointsToTuples + Result.Stats.FieldPointsToTuples;
   Outcome.Precision = computePrecision(Prog, Result);
   Outcome.Refinement = computeRefinementStats(Prog, Pass1, Exceptions);
-  if (WithGuard)
-    std::cout << "  (guard lifted " << Lifted << " exclusions)\n";
-  return Outcome;
+  return Cell;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   std::cout << "Ablation: importance-guarded Heuristic A (the paper's\n"
                "Section 3 future-work direction), 2objH-based.\n\n";
 
-  for (const WorkloadProfile &Profile : scalabilitySubjects()) {
-    Program Prog = generateWorkload(Profile);
-    std::cout << "benchmark: " << Profile.Name << "\n";
+  std::vector<WorkloadProfile> Subjects = scalabilitySubjects();
+  std::vector<Program> Programs;
+  for (const WorkloadProfile &Profile : Subjects)
+    Programs.push_back(generateWorkload(Profile));
 
-    auto Insens = makeInsensitivePolicy();
-    RunOutcome Base = runPlain(Prog, *Insens);
-    RunOutcome Plain = runGuarded(Prog, /*WithGuard=*/false);
-    RunOutcome Guarded = runGuarded(Prog, /*WithGuard=*/true);
-    auto Full = makeFlavor(Flavor::Object, Prog);
-    RunOutcome Deep = runPlain(Prog, *Full);
+  // Cell layout: insens / plain IntroA / guarded IntroA / full 2objH.
+  constexpr size_t CellsPerSubject = 4;
+  std::vector<ImportanceCell> Cells = runSweep(
+      Subjects.size() * CellsPerSubject, sweepWorkers(argc, argv),
+      [&](size_t Index) {
+        const Program &Prog = Programs[Index / CellsPerSubject];
+        switch (Index % CellsPerSubject) {
+        case 0: {
+          auto Insens = makeInsensitivePolicy();
+          return ImportanceCell{runPlain(Prog, *Insens), 0};
+        }
+        case 1:
+          return runGuarded(Prog, /*WithGuard=*/false);
+        case 2:
+          return runGuarded(Prog, /*WithGuard=*/true);
+        default: {
+          auto Full = makeFlavor(Flavor::Object, Prog);
+          return ImportanceCell{runPlain(Prog, *Full), 0};
+        }
+        }
+      });
+
+  for (size_t Subject = 0; Subject < Subjects.size(); ++Subject) {
+    std::cout << "benchmark: " << Subjects[Subject].Name << "\n";
+    const ImportanceCell *Row = &Cells[Subject * CellsPerSubject];
+    std::cout << "  (guard lifted " << Row[2].Lifted << " exclusions)\n";
 
     TableWriter Table({"analysis", "status", "tuples", "poly sites",
                        "casts may fail"});
-    for (const RunOutcome *Out : {&Base, &Plain, &Guarded, &Deep})
-      Table.addRow({Out->Analysis.empty() ? "insens" : Out->Analysis,
-                    Out->Completed ? "completed" : "DNF",
-                    TableWriter::num(Out->Tuples),
-                    precCell(*Out, Out->Precision.PolymorphicVirtualCallSites),
-                    precCell(*Out, Out->Precision.CastsThatMayFail)});
+    for (size_t Cell = 0; Cell < CellsPerSubject; ++Cell) {
+      const RunOutcome &Out = Row[Cell].Out;
+      Table.addRow({Out.Analysis.empty() ? "insens" : Out.Analysis,
+                    Out.Completed ? "completed" : "DNF",
+                    TableWriter::num(Out.Tuples),
+                    precCell(Out, Out.Precision.PolymorphicVirtualCallSites),
+                    precCell(Out, Out.Precision.CastsThatMayFail)});
+    }
     Table.print(std::cout);
     std::cout << "\n";
   }

@@ -6,11 +6,12 @@
 
 #include "FigFlavor.h"
 
-int main() {
+int main(int argc, char **argv) {
   return intro::bench::runFlavorFigure(
       intro::bench::Flavor::Object, "Figure 5",
       "2objH blows up on hsqldb and jython (and is the slow outlier on\n"
       "bloat); IntroA scales to all benchmarks with moderate precision\n"
       "gains over insens; IntroB scales to all but jython while keeping\n"
-      "most of 2objH's precision.");
+      "most of 2objH's precision.",
+      intro::bench::sweepWorkers(argc, argv));
 }

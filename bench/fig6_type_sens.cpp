@@ -6,10 +6,11 @@
 
 #include "FigFlavor.h"
 
-int main() {
+int main(int argc, char **argv) {
   return intro::bench::runFlavorFigure(
       intro::bench::Flavor::Type, "Figure 6",
       "2typeH blows up on jython only; IntroB scales to all programs with\n"
       "precision close to full 2typeH; IntroA has near-perfect\n"
-      "scalability with lower precision gains.");
+      "scalability with lower precision gains.",
+      intro::bench::sweepWorkers(argc, argv));
 }

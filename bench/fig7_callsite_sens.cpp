@@ -6,10 +6,11 @@
 
 #include "FigFlavor.h"
 
-int main() {
+int main(int argc, char **argv) {
   return intro::bench::runFlavorFigure(
       intro::bench::Flavor::CallSite, "Figure 7",
       "base 2callH does not terminate on 4 of 6 benchmarks; IntroA\n"
       "terminates on all, IntroB on all but jython; where 2callH\n"
-      "completes, IntroB matches its full precision on every metric.");
+      "completes, IntroB matches its full precision on every metric.",
+      intro::bench::sweepWorkers(argc, argv));
 }

@@ -8,8 +8,10 @@
 
 #include "analysis/ContextPolicy.h"
 #include "ir/Program.h"
+#include "support/Overflow.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -90,7 +92,12 @@ private:
       Status = Opts.Faults.FailStatus;
       return true;
     }
-    if (TotalTuples * Opts.Faults.TupleInflation > Opts.Budget.MaxTuples) {
+    // Saturating multiply: a pathological inflation factor must trip the
+    // budget, not wrap uint64_t and silently disarm it.  A zero factor
+    // (below the documented minimum of 1) is treated as the inert 1.
+    if (saturatingMul(TotalTuples, std::max<uint64_t>(
+                                       Opts.Faults.TupleInflation, 1)) >
+        Opts.Budget.MaxTuples) {
       Status = SolveStatus::TupleBudgetExceeded;
       return true;
     }

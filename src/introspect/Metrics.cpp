@@ -8,15 +8,15 @@
 
 #include "analysis/Result.h"
 #include "ir/Program.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 
 using namespace intro;
 
-IntrospectionMetrics
-intro::computeIntrospectionMetrics(const Program &Prog,
-                                   const PointsToResult &Insens) {
-  IntrospectionMetrics M;
+namespace {
+
+void initMetrics(IntrospectionMetrics &M, const Program &Prog) {
   M.InFlow.assign(Prog.numSites(), 0);
   M.MethodTotalVolume.assign(Prog.numMethods(), 0);
   M.MethodMaxVarPointsTo.assign(Prog.numMethods(), 0);
@@ -25,36 +25,63 @@ intro::computeIntrospectionMetrics(const Program &Prog,
   M.MethodMaxVarFieldPointsTo.assign(Prog.numMethods(), 0);
   M.PointedByVars.assign(Prog.numHeaps(), 0);
   M.PointedByObjs.assign(Prog.numHeaps(), 0);
+}
 
-  // Metric #1 — in-flow: the Datalog query of Section 3,
-  //   HEAPSPERINVOCATIONPERARG(invo, arg, heap) <- CALLGRAPH(invo, _, _, _),
-  //     ACTUALARG(invo, _, arg), VARPOINTSTO(arg, _, heap, _).
-  //   INFLOW(invo, count(...)).
-  for (uint32_t SiteIndex = 0; SiteIndex < Prog.numSites(); ++SiteIndex) {
+// The three sweeps below are written over index ranges so the sequential
+// path (one full range) and the parallel path (contiguous shards) execute
+// the same code.  All cross-shard accumulation is integer sums and maxes,
+// so merging per-shard buffers in any order reproduces the sequential
+// values bit for bit.
+
+/// Metric #1 — in-flow: the Datalog query of Section 3,
+///   HEAPSPERINVOCATIONPERARG(invo, arg, heap) <- CALLGRAPH(invo, _, _, _),
+///     ACTUALARG(invo, _, arg), VARPOINTSTO(arg, _, heap, _).
+///   INFLOW(invo, count(...)).
+/// Writes are per-site, so shards over disjoint site ranges never collide.
+void inFlowRange(const Program &Prog, const PointsToResult &Insens,
+                 uint32_t Begin, uint32_t End, std::vector<uint64_t> &InFlow) {
+  for (uint32_t SiteIndex = Begin; SiteIndex < End; ++SiteIndex) {
     SiteId Site(SiteIndex);
     if (Insens.callTargets(Site).empty())
       continue; // No CALLGRAPH(invo, ...) fact.
     uint64_t Total = 0;
     for (VarId Actual : Prog.site(Site).Actuals)
       Total += Insens.pointsTo(Actual).size();
-    M.InFlow[SiteIndex] = Total;
+    InFlow[SiteIndex] = Total;
   }
+}
 
-  // Metrics #3 and #6 — per-object field points-to sizes and pointed-by-objs.
-  for (const auto &[Key, Heaps] : Insens.FieldHeaps) {
+/// One (base heap, field) -> heaps cell of the FieldHeaps map.
+using FieldCell = std::pair<const uint64_t, SortedIdSet>;
+
+/// Metrics #3 and #6 — per-object field points-to sizes and
+/// pointed-by-objs, accumulated into caller-provided buffers (the metric
+/// vectors themselves on the sequential path, per-shard scratch on the
+/// parallel path).
+void fieldCellRange(const std::vector<const FieldCell *> &Cells, size_t Begin,
+                    size_t End, std::vector<uint64_t> &TotalFieldPointsTo,
+                    std::vector<uint64_t> &MaxFieldPointsTo,
+                    std::vector<uint64_t> &PointedByObjs) {
+  for (size_t Index = Begin; Index < End; ++Index) {
+    const auto &[Key, Heaps] = *Cells[Index];
     uint32_t BaseHeap = static_cast<uint32_t>(Key >> 32);
     uint64_t Size = Heaps.size();
-    M.ObjectTotalFieldPointsTo[BaseHeap] += Size;
-    M.ObjectMaxFieldPointsTo[BaseHeap] =
-        std::max(M.ObjectMaxFieldPointsTo[BaseHeap], Size);
+    TotalFieldPointsTo[BaseHeap] += Size;
+    MaxFieldPointsTo[BaseHeap] = std::max(MaxFieldPointsTo[BaseHeap], Size);
     for (uint32_t Pointee : Heaps)
-      ++M.PointedByObjs[Pointee];
+      ++PointedByObjs[Pointee];
   }
+}
 
-  // Metrics #2, #4, #5 — per-method volumes and pointed-by-vars, one sweep
-  // over all (var, heap) pairs.
-  for (uint32_t MethodIndex = 0; MethodIndex < Prog.numMethods();
-       ++MethodIndex) {
+/// Metrics #2, #4, #5 — per-method volumes and pointed-by-vars, one sweep
+/// over all (var, heap) pairs.  The per-method outputs are disjoint writes;
+/// PointedByVars crosses method boundaries and goes through \p PointedByVars
+/// (per-shard scratch on the parallel path).  Reads the *merged*
+/// ObjectMaxFieldPointsTo, so this sweep must run after metric #3 is final.
+void methodRange(const Program &Prog, const PointsToResult &Insens,
+                 uint32_t Begin, uint32_t End, IntrospectionMetrics &M,
+                 std::vector<uint64_t> &PointedByVars) {
+  for (uint32_t MethodIndex = Begin; MethodIndex < End; ++MethodIndex) {
     const MethodInfo &Info = Prog.method(MethodId(MethodIndex));
     uint64_t Volume = 0;
     uint64_t MaxVar = 0;
@@ -64,7 +91,7 @@ intro::computeIntrospectionMetrics(const Program &Prog,
       Volume += Heaps.size();
       MaxVar = std::max(MaxVar, static_cast<uint64_t>(Heaps.size()));
       for (uint32_t HeapRaw : Heaps) {
-        ++M.PointedByVars[HeapRaw];
+        ++PointedByVars[HeapRaw];
         MaxVarField =
             std::max(MaxVarField, M.ObjectMaxFieldPointsTo[HeapRaw]);
       }
@@ -72,6 +99,95 @@ intro::computeIntrospectionMetrics(const Program &Prog,
     M.MethodTotalVolume[MethodIndex] = Volume;
     M.MethodMaxVarPointsTo[MethodIndex] = MaxVar;
     M.MethodMaxVarFieldPointsTo[MethodIndex] = MaxVarField;
+  }
+}
+
+std::vector<const FieldCell *> collectFieldCells(const PointsToResult &Insens) {
+  std::vector<const FieldCell *> Cells;
+  Cells.reserve(Insens.FieldHeaps.size());
+  for (const auto &Cell : Insens.FieldHeaps)
+    Cells.push_back(&Cell);
+  return Cells;
+}
+
+} // namespace
+
+IntrospectionMetrics
+intro::computeIntrospectionMetrics(const Program &Prog,
+                                   const PointsToResult &Insens) {
+  IntrospectionMetrics M;
+  initMetrics(M, Prog);
+
+  inFlowRange(Prog, Insens, 0, static_cast<uint32_t>(Prog.numSites()),
+              M.InFlow);
+  std::vector<const FieldCell *> Cells = collectFieldCells(Insens);
+  fieldCellRange(Cells, 0, Cells.size(), M.ObjectTotalFieldPointsTo,
+                 M.ObjectMaxFieldPointsTo, M.PointedByObjs);
+  methodRange(Prog, Insens, 0, static_cast<uint32_t>(Prog.numMethods()), M,
+              M.PointedByVars);
+  return M;
+}
+
+IntrospectionMetrics
+intro::computeIntrospectionMetrics(const Program &Prog,
+                                   const PointsToResult &Insens,
+                                   ThreadPool &Pool) {
+  IntrospectionMetrics M;
+  initMetrics(M, Prog);
+  size_t Shards = Pool.workerCount();
+
+  // Phase 1a — in-flow: disjoint per-site writes, no merge needed.
+  parallelForShards(Pool, Prog.numSites(), Shards,
+                    [&](size_t, size_t Begin, size_t End) {
+                      inFlowRange(Prog, Insens, static_cast<uint32_t>(Begin),
+                                  static_cast<uint32_t>(End), M.InFlow);
+                    });
+
+  // Phase 1b — field cells: per-shard accumulation, merged by sum / max /
+  // sum in shard-index order (any order gives the same integers).
+  std::vector<const FieldCell *> Cells = collectFieldCells(Insens);
+  struct FieldAccum {
+    std::vector<uint64_t> Total, Max, PointedByObjs;
+  };
+  std::vector<FieldAccum> FieldShards(std::max<size_t>(
+      1, std::min(Shards, std::max<size_t>(Cells.size(), 1))));
+  parallelForShards(
+      Pool, Cells.size(), FieldShards.size(),
+      [&](size_t Shard, size_t Begin, size_t End) {
+        FieldAccum &A = FieldShards[Shard];
+        A.Total.assign(Prog.numHeaps(), 0);
+        A.Max.assign(Prog.numHeaps(), 0);
+        A.PointedByObjs.assign(Prog.numHeaps(), 0);
+        fieldCellRange(Cells, Begin, End, A.Total, A.Max, A.PointedByObjs);
+      });
+  for (const FieldAccum &A : FieldShards) {
+    if (A.Total.empty())
+      continue; // Shard never ran (more shards than cells).
+    for (size_t Heap = 0; Heap < Prog.numHeaps(); ++Heap) {
+      M.ObjectTotalFieldPointsTo[Heap] += A.Total[Heap];
+      M.ObjectMaxFieldPointsTo[Heap] =
+          std::max(M.ObjectMaxFieldPointsTo[Heap], A.Max[Heap]);
+      M.PointedByObjs[Heap] += A.PointedByObjs[Heap];
+    }
+  }
+
+  // Phase 2 — methods: needs the merged ObjectMaxFieldPointsTo from phase
+  // 1b.  Per-method outputs are disjoint writes; PointedByVars goes through
+  // per-shard scratch summed in shard order.
+  std::vector<std::vector<uint64_t>> VarShards(std::max<size_t>(
+      1, std::min(Shards, std::max<size_t>(Prog.numMethods(), 1))));
+  parallelForShards(Pool, Prog.numMethods(), VarShards.size(),
+                    [&](size_t Shard, size_t Begin, size_t End) {
+                      VarShards[Shard].assign(Prog.numHeaps(), 0);
+                      methodRange(Prog, Insens, static_cast<uint32_t>(Begin),
+                                  static_cast<uint32_t>(End), M,
+                                  VarShards[Shard]);
+                    });
+  for (const std::vector<uint64_t> &Shard : VarShards) {
+    if (Shard.empty())
+      continue;
+    for (size_t Heap = 0; Heap < Prog.numHeaps(); ++Heap)
+      M.PointedByVars[Heap] += Shard[Heap];
   }
 
   return M;

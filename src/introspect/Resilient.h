@@ -30,6 +30,19 @@
 /// Deterministic fault injection (FaultPlan, per rung) lets tests exercise
 /// every rung without constructing programs that genuinely blow up.
 ///
+/// **Portfolio mode** (ResilientOptions::Portfolio) races the rungs
+/// concurrently on a thread pool instead of paying for each failed rung in
+/// wall-clock: the deep attempt and the insensitive pre-analysis launch
+/// together; once the pre-analysis lands, every introspective rung launches
+/// too.  The winner is decided in ladder order — exactly the rung the
+/// sequential walk would have returned — and the losing rungs are cancelled
+/// through per-rung tokens linked to the caller's.  Completed solver runs
+/// are single-threaded and deterministic, so the winning PointsToResult,
+/// the metrics, and the exceptions are bit-identical to the sequential
+/// path; only wall-clock (and the Stats of *cancelled* losers in the
+/// trace) differ.  The trace records every launched attempt in the fixed
+/// ladder-walk order regardless of completion order.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef INTROSPECT_RESILIENT_H
@@ -112,6 +125,15 @@ struct ResilientOptions {
   const CancellationToken *Cancel = nullptr;
   /// In-solver cancellation poll interval (SolverOptions::CancelInterval).
   uint32_t CancelInterval = 64;
+
+  /// Race the rungs concurrently instead of walking them one by one.  The
+  /// returned result, level, metrics, and exceptions are bit-identical to
+  /// the sequential walk (see the file comment); the win is wall-clock:
+  /// failed rungs no longer serialize in front of the rung that completes.
+  bool Portfolio = false;
+  /// Worker threads for portfolio mode (and its parallel metric
+  /// computation).  0 means one per hardware thread.
+  unsigned Workers = 0;
 
   /// Deterministic fault injection, indexed by DegradationLevel (tests
   /// only; inert by default).  The Insensitive entry applies to the

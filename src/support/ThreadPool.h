@@ -1,0 +1,162 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small thread pool for the parallel portfolio engine and
+/// the benchmark sweep runners: a fixed number of workers, a FIFO task
+/// queue, and std::future-based results.  No work stealing, no priorities,
+/// no resizing — the analysis workloads are a handful of long-running,
+/// independent solver calls, so a single shared queue is both sufficient
+/// and easy to reason about.
+///
+/// Exceptions thrown by a task are captured by its std::packaged_task and
+/// rethrown from the corresponding future's get(), so a crashing solver
+/// run surfaces in the submitting thread rather than terminating a worker.
+///
+/// Destruction drains: the destructor runs every task already queued, then
+/// joins the workers.  Callers that want to abandon queued analysis work
+/// must cancel it cooperatively (CancellationToken) before destroying the
+/// pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_THREADPOOL_H
+#define SUPPORT_THREADPOOL_H
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace intro {
+
+/// A fixed-size pool of worker threads executing queued tasks in FIFO
+/// submission order (start order; completion order depends on run times).
+class ThreadPool {
+public:
+  /// Creates \p Workers worker threads; 0 means defaultWorkerCount().
+  explicit ThreadPool(unsigned Workers = 0) {
+    if (Workers == 0)
+      Workers = defaultWorkerCount();
+    Threads.reserve(Workers);
+    for (unsigned Index = 0; Index < Workers; ++Index)
+      Threads.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Drains the queue (every already-submitted task still runs), then
+  /// joins all workers.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Draining = true;
+    }
+    Ready.notify_all();
+    for (std::thread &Worker : Threads)
+      Worker.join();
+  }
+
+  /// Number of worker threads.
+  size_t workerCount() const { return Threads.size(); }
+
+  /// Worker count used when the caller does not specify one: every
+  /// hardware thread, with a fallback when the runtime cannot tell.
+  static unsigned defaultWorkerCount() {
+    unsigned Count = std::thread::hardware_concurrency();
+    return Count == 0 ? 4 : Count;
+  }
+
+  /// Enqueues \p Task and \returns the future of its result.  A thrown
+  /// exception is captured and rethrown by future.get().
+  template <typename Fn>
+  auto submit(Fn &&Task) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using Result = std::invoke_result_t<std::decay_t<Fn>>;
+    auto Packaged = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(Task));
+    std::future<Result> Future = Packaged->get_future();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Queue.emplace_back([Packaged] { (*Packaged)(); });
+    }
+    Ready.notify_one();
+    return Future;
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Job;
+      {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        Ready.wait(Lock, [this] { return Draining || !Queue.empty(); });
+        if (Queue.empty())
+          return; // Draining and drained.
+        Job = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      Job();
+    }
+  }
+
+  std::mutex Mutex;
+  std::condition_variable Ready;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Threads;
+  bool Draining = false;
+};
+
+/// Splits [0, \p Count) into \p ShardCount contiguous slices and runs
+/// \p Body(ShardIndex, Begin, End) for each on \p Pool, blocking until all
+/// slices finish.  The slice boundaries depend only on Count and
+/// ShardCount, so any per-shard accumulation a caller merges in shard-index
+/// order is deterministic.  Exceptions from any shard rethrow here (the
+/// remaining shards still run to completion first).
+///
+/// Must not be called from inside a task running on \p Pool — the caller
+/// blocks on the shard futures while holding no worker, and a worker
+/// calling it could deadlock a fully-busy pool.
+template <typename Fn>
+inline void parallelForShards(ThreadPool &Pool, size_t Count,
+                              size_t ShardCount, Fn &&Body) {
+  ShardCount = std::clamp<size_t>(ShardCount, 1, std::max<size_t>(Count, 1));
+  if (ShardCount == 1) {
+    Body(size_t(0), size_t(0), Count); // Inline: nothing to parallelize.
+    return;
+  }
+  std::vector<std::future<void>> Shards;
+  Shards.reserve(ShardCount);
+  for (size_t Shard = 0; Shard < ShardCount; ++Shard) {
+    size_t Begin = Count * Shard / ShardCount;
+    size_t End = Count * (Shard + 1) / ShardCount;
+    Shards.push_back(
+        Pool.submit([&Body, Shard, Begin, End] { Body(Shard, Begin, End); }));
+  }
+  // get() in order so the first failure's exception propagates after every
+  // shard has stopped touching caller-owned buffers.
+  std::exception_ptr First;
+  for (std::future<void> &Shard : Shards) {
+    try {
+      Shard.get();
+    } catch (...) {
+      if (!First)
+        First = std::current_exception();
+    }
+  }
+  if (First)
+    std::rethrow_exception(First);
+}
+
+} // namespace intro
+
+#endif // SUPPORT_THREADPOOL_H

@@ -10,6 +10,7 @@
 #include "introspect/Driver.h"
 #include "introspect/Heuristics.h"
 #include "introspect/Metrics.h"
+#include "support/ThreadPool.h"
 #include "workload/DaCapo.h"
 
 #include "TestPrograms.h"
@@ -222,4 +223,53 @@ TEST(Driver, BudgetsArePassedThrough) {
   Options.SecondPassBudget.MaxTuples = 10; // Absurdly small.
   IntrospectiveOutcome Out = runIntrospective(Prog, *Refined, Options);
   EXPECT_FALSE(isCompleted(Out.SecondPass.Status));
+}
+
+TEST(Metrics, ParallelComputationIsBitIdenticalToSequential) {
+  // The sharded metric computation merges per-shard integer sums/maxes in
+  // shard-index order; for any worker count the result must equal the
+  // sequential sweep exactly.
+  Program Prog = generateWorkload(dacapoProfile("chart"));
+  auto Insens = makeInsensitivePolicy();
+  ContextTable Table;
+  PointsToResult First = solvePointsTo(Prog, *Insens, Table);
+  IntrospectionMetrics Sequential = computeIntrospectionMetrics(Prog, First);
+
+  for (unsigned Workers : {1u, 3u, 8u}) {
+    ThreadPool Pool(Workers);
+    IntrospectionMetrics Parallel =
+        computeIntrospectionMetrics(Prog, First, Pool);
+    SCOPED_TRACE("workers: " + std::to_string(Workers));
+    EXPECT_EQ(Parallel.InFlow, Sequential.InFlow);
+    EXPECT_EQ(Parallel.MethodTotalVolume, Sequential.MethodTotalVolume);
+    EXPECT_EQ(Parallel.MethodMaxVarPointsTo,
+              Sequential.MethodMaxVarPointsTo);
+    EXPECT_EQ(Parallel.ObjectMaxFieldPointsTo,
+              Sequential.ObjectMaxFieldPointsTo);
+    EXPECT_EQ(Parallel.ObjectTotalFieldPointsTo,
+              Sequential.ObjectTotalFieldPointsTo);
+    EXPECT_EQ(Parallel.MethodMaxVarFieldPointsTo,
+              Sequential.MethodMaxVarFieldPointsTo);
+    EXPECT_EQ(Parallel.PointedByVars, Sequential.PointedByVars);
+    EXPECT_EQ(Parallel.PointedByObjs, Sequential.PointedByObjs);
+  }
+}
+
+TEST(Metrics, ParallelComputationHandlesTinyPrograms) {
+  // More workers than sites/methods/field cells: shard clamping must not
+  // read or write out of range, and the merge must skip never-ran shards.
+  TwoBoxes T = makeTwoBoxes();
+  auto Insens = makeInsensitivePolicy();
+  ContextTable Table;
+  PointsToResult First = solvePointsTo(T.Prog, *Insens, Table);
+  IntrospectionMetrics Sequential =
+      computeIntrospectionMetrics(T.Prog, First);
+  ThreadPool Pool(16);
+  IntrospectionMetrics Parallel =
+      computeIntrospectionMetrics(T.Prog, First, Pool);
+  EXPECT_EQ(Parallel.InFlow, Sequential.InFlow);
+  EXPECT_EQ(Parallel.PointedByVars, Sequential.PointedByVars);
+  EXPECT_EQ(Parallel.PointedByObjs, Sequential.PointedByObjs);
+  EXPECT_EQ(Parallel.ObjectTotalFieldPointsTo,
+            Sequential.ObjectTotalFieldPointsTo);
 }

@@ -18,13 +18,17 @@
 #include "introspect/Driver.h"
 #include "introspect/Resilient.h"
 #include "ir/Program.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "workload/DaCapo.h"
 
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <future>
+#include <limits>
 #include <thread>
+#include <vector>
 
 using namespace intro;
 
@@ -470,4 +474,254 @@ TEST(BudgetExhaustion, TimeBudgetYieldsSoundPrefixInBothPasses) {
     EXPECT_EQ(Truncated.Status, SolveStatus::TimeBudgetExceeded);
     expectConsistent(Prog, Truncated);
   }
+}
+
+// --- Portfolio mode ----------------------------------------------------------
+
+namespace {
+
+/// Asserts that two results carry an identical client-visible payload:
+/// every projection table, the analysis identity, and the deterministic
+/// solver counters.  (Stats.Seconds and ApproxBytes are wall-clock / size
+/// estimates and excluded by design.)
+void expectSamePayload(const PointsToResult &A, const PointsToResult &B) {
+  EXPECT_EQ(A.AnalysisName, B.AnalysisName);
+  EXPECT_EQ(A.Status, B.Status);
+  EXPECT_EQ(A.VarHeaps, B.VarHeaps);
+  EXPECT_EQ(A.FieldHeaps, B.FieldHeaps);
+  EXPECT_EQ(A.StaticFieldHeaps, B.StaticFieldHeaps);
+  EXPECT_EQ(A.MethodThrows, B.MethodThrows);
+  EXPECT_EQ(A.SiteTargets, B.SiteTargets);
+  EXPECT_EQ(A.MethodReachable, B.MethodReachable);
+  EXPECT_EQ(A.Stats.VarPointsToTuples, B.Stats.VarPointsToTuples);
+  EXPECT_EQ(A.Stats.FieldPointsToTuples, B.Stats.FieldPointsToTuples);
+  EXPECT_EQ(A.Stats.NumContexts, B.Stats.NumContexts);
+  EXPECT_EQ(A.Stats.WorklistPops, B.Stats.WorklistPops);
+  EXPECT_EQ(A.Stats.CallGraphEdges, B.Stats.CallGraphEdges);
+}
+
+/// Asserts that a portfolio run's outcome matches the sequential walk's
+/// bit for bit on everything the contract pins: result payload, rung,
+/// metrics, exceptions, cancellation flag.
+void expectSameOutcome(const ResilientOutcome &Seq,
+                       const ResilientOutcome &Par) {
+  EXPECT_EQ(Seq.Level, Par.Level);
+  EXPECT_EQ(Seq.Cancelled, Par.Cancelled);
+  expectSamePayload(Seq.Result, Par.Result);
+  EXPECT_EQ(Seq.Metrics.InFlow, Par.Metrics.InFlow);
+  EXPECT_EQ(Seq.Metrics.MethodTotalVolume, Par.Metrics.MethodTotalVolume);
+  EXPECT_EQ(Seq.Metrics.MethodMaxVarPointsTo,
+            Par.Metrics.MethodMaxVarPointsTo);
+  EXPECT_EQ(Seq.Metrics.ObjectMaxFieldPointsTo,
+            Par.Metrics.ObjectMaxFieldPointsTo);
+  EXPECT_EQ(Seq.Metrics.ObjectTotalFieldPointsTo,
+            Par.Metrics.ObjectTotalFieldPointsTo);
+  EXPECT_EQ(Seq.Metrics.MethodMaxVarFieldPointsTo,
+            Par.Metrics.MethodMaxVarFieldPointsTo);
+  EXPECT_EQ(Seq.Metrics.PointedByVars, Par.Metrics.PointedByVars);
+  EXPECT_EQ(Seq.Metrics.PointedByObjs, Par.Metrics.PointedByObjs);
+  EXPECT_EQ(Seq.Exceptions.NoRefineHeaps, Par.Exceptions.NoRefineHeaps);
+  EXPECT_EQ(Seq.Exceptions.NoRefineSites, Par.Exceptions.NoRefineSites);
+}
+
+} // namespace
+
+TEST(Portfolio, BitIdenticalToSequentialAtEveryWinningRung) {
+  // Every rung the ladder can return is exercised by failing the rungs
+  // above it; in each scenario the racing portfolio must hand back the
+  // exact outcome of the sequential walk.
+  Program Prog = chartProgram();
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+
+  const std::vector<std::vector<DegradationLevel>> Scenarios = {
+      {}, // Deep wins outright.
+      {DegradationLevel::Deep},
+      {DegradationLevel::Deep, DegradationLevel::IntroB},
+      {DegradationLevel::Deep, DegradationLevel::IntroB,
+       DegradationLevel::IntroA},
+      {DegradationLevel::Deep, DegradationLevel::IntroB,
+       DegradationLevel::IntroA, DegradationLevel::TightenedIntroA},
+  };
+  for (const auto &Failing : Scenarios) {
+    ResilientOptions Sequential;
+    for (DegradationLevel Level : Failing)
+      Sequential.faultsFor(Level) = failFast();
+    ResilientOptions Racing = Sequential;
+    Racing.Portfolio = true;
+    Racing.Workers = 4;
+
+    ResilientOutcome Seq = runResilient(Prog, *Refined, Sequential);
+    ResilientOutcome Par = runResilient(Prog, *Refined, Racing);
+    SCOPED_TRACE("failing rungs: " + std::to_string(Failing.size()));
+    expectSameOutcome(Seq, Par);
+    expectConsistent(Prog, Par.Result);
+  }
+}
+
+TEST(Portfolio, WorkerCountDoesNotChangeTheOutcome) {
+  Program Prog = chartProgram();
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  ResilientOptions Base;
+  Base.faultsFor(DegradationLevel::Deep) = failFast();
+  Base.Portfolio = true;
+
+  Base.Workers = 1;
+  ResilientOutcome One = runResilient(Prog, *Refined, Base);
+  Base.Workers = 3;
+  ResilientOutcome Three = runResilient(Prog, *Refined, Base);
+  Base.Workers = 8;
+  ResilientOutcome Eight = runResilient(Prog, *Refined, Base);
+  expectSameOutcome(One, Three);
+  expectSameOutcome(One, Eight);
+  EXPECT_EQ(One.Level, DegradationLevel::IntroB);
+}
+
+TEST(Portfolio, TraceRecordsEveryLaunchedRungInLadderOrder) {
+  // Completion order races; trace order must not.  With every refined
+  // rung failing, all seven attempts (deep, the pre-analysis, introB,
+  // introA, two tightened rounds) appear in ladder-walk order with their
+  // injected statuses.
+  Program Prog = chartProgram();
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  ResilientOptions Options;
+  Options.Portfolio = true;
+  Options.Workers = 4;
+  Options.TightenedRounds = 2;
+  Options.faultsFor(DegradationLevel::Deep) =
+      failFast(SolveStatus::TupleBudgetExceeded);
+  Options.faultsFor(DegradationLevel::IntroB) =
+      failFast(SolveStatus::TimeBudgetExceeded);
+  Options.faultsFor(DegradationLevel::IntroA) =
+      failFast(SolveStatus::MemoryBudgetExceeded);
+  Options.faultsFor(DegradationLevel::TightenedIntroA) =
+      failFast(SolveStatus::TupleBudgetExceeded);
+
+  ResilientOutcome Out = runResilient(Prog, *Refined, Options);
+  EXPECT_TRUE(Out.completed());
+  EXPECT_EQ(Out.Level, DegradationLevel::Insensitive);
+
+  ASSERT_EQ(Out.Trace.size(), 6u);
+  EXPECT_EQ(Out.Trace[0].Level, DegradationLevel::Deep);
+  EXPECT_EQ(Out.Trace[0].Status, SolveStatus::TupleBudgetExceeded);
+  EXPECT_EQ(Out.Trace[1].Level, DegradationLevel::Insensitive);
+  EXPECT_EQ(Out.Trace[1].Status, SolveStatus::Completed);
+  EXPECT_EQ(Out.Trace[2].Level, DegradationLevel::IntroB);
+  EXPECT_EQ(Out.Trace[2].Status, SolveStatus::TimeBudgetExceeded);
+  EXPECT_EQ(Out.Trace[3].Level, DegradationLevel::IntroA);
+  EXPECT_EQ(Out.Trace[3].Status, SolveStatus::MemoryBudgetExceeded);
+  EXPECT_EQ(Out.Trace[4].Level, DegradationLevel::TightenedIntroA);
+  EXPECT_EQ(Out.Trace[4].TightenedRound, 1u);
+  EXPECT_EQ(Out.Trace[5].Level, DegradationLevel::TightenedIntroA);
+  EXPECT_EQ(Out.Trace[5].TightenedRound, 2u);
+}
+
+TEST(Portfolio, HappyDeepWinClearsMetricsLikeSequential) {
+  // The sequential happy path never computes metrics; a deep win in the
+  // portfolio (which always runs the pre-analysis concurrently) must not
+  // leak them into the outcome.
+  Program Prog = chartProgram();
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  ResilientOptions Options;
+  Options.Portfolio = true;
+  Options.Workers = 4;
+  ResilientOutcome Out = runResilient(Prog, *Refined, Options);
+  EXPECT_EQ(Out.Level, DegradationLevel::Deep);
+  EXPECT_TRUE(Out.Metrics.InFlow.empty());
+  EXPECT_EQ(Out.MetricSeconds, 0.0);
+}
+
+TEST(Portfolio, PreCancelledTokenMatchesSequentialCancellation) {
+  Program Prog = chartProgram();
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  CancellationToken Cancel;
+  Cancel.cancel();
+
+  ResilientOptions Sequential;
+  Sequential.Cancel = &Cancel;
+  ResilientOptions Racing = Sequential;
+  Racing.Portfolio = true;
+  Racing.Workers = 4;
+
+  ResilientOutcome Seq = runResilient(Prog, *Refined, Sequential);
+  ResilientOutcome Par = runResilient(Prog, *Refined, Racing);
+  EXPECT_TRUE(Seq.Cancelled);
+  EXPECT_TRUE(Par.Cancelled);
+  EXPECT_EQ(Seq.Level, Par.Level);
+  EXPECT_EQ(Seq.Result.Status, Par.Result.Status);
+  expectConsistent(Prog, Par.Result);
+}
+
+TEST(Portfolio, ConcurrentExternalCancellationStopsAllRungs) {
+  // A caller-side cancel while the rungs race must fan out through the
+  // linked tokens and stop every in-flight solve.  jython's deep rung
+  // explodes, so without the cancel this would run for many seconds; the
+  // budgets below are only a backstop so a regression fails instead of
+  // hanging.  Exercised under TSan in CI to pin the token fan-out as
+  // data-race-free.
+  Program Prog = generateWorkload(dacapoProfile("jython"));
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  CancellationToken Cancel;
+  ResilientOptions Options;
+  Options.Portfolio = true;
+  Options.Workers = 4;
+  Options.Cancel = &Cancel;
+  Options.DeepBudget.MaxSeconds = 30.0;
+  Options.FirstPassBudget.MaxSeconds = 30.0;
+  Options.RefinedBudget.MaxSeconds = 30.0;
+
+  std::thread Canceller([&Cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    Cancel.cancel();
+  });
+  Timer Clock;
+  ResilientOutcome Out = runResilient(Prog, *Refined, Options);
+  Canceller.join();
+
+  EXPECT_TRUE(Out.Cancelled);
+  EXPECT_FALSE(Out.completed());
+  // Cancellation must beat the 30 s budget backstop by a wide margin.
+  EXPECT_LT(Clock.seconds(), 15.0);
+  expectConsistent(Prog, Out.Result);
+  // Every recorded attempt was stopped by the token, not by a budget.
+  for (const Attempt &A : Out.Trace)
+    EXPECT_EQ(A.Status, SolveStatus::Cancelled);
+}
+
+TEST(Portfolio, SharedEmptySetIsSafeForConcurrentReaders) {
+  // PointsToResult::emptySet() is the shared fallback every racing rung's
+  // readers may touch; all threads must observe one fully-constructed
+  // object at a single address (C++11 magic statics).
+  PointsToResult Result; // No tables: every query hits the fallback.
+  const SortedIdSet *Addresses[8] = {};
+  {
+    ThreadPool Pool(4);
+    std::vector<std::future<void>> Reads;
+    for (size_t Reader = 0; Reader < 8; ++Reader)
+      Reads.push_back(Pool.submit([&Result, &Addresses, Reader] {
+        const SortedIdSet &Empty = Result.pointsTo(VarId(12345));
+        EXPECT_TRUE(Empty.empty());
+        EXPECT_TRUE(Result.callTargets(SiteId(7)).empty());
+        EXPECT_TRUE(Result.throwsOf(MethodId(9)).empty());
+        Addresses[Reader] = &Empty;
+      }));
+    for (auto &Read : Reads)
+      Read.get();
+  }
+  for (size_t Reader = 1; Reader < 8; ++Reader)
+    EXPECT_EQ(Addresses[Reader], Addresses[0]);
+}
+
+TEST(FaultInjection, TupleInflationSaturatesInsteadOfWrapping) {
+  // A pathological inflation factor whose product with the tuple count
+  // overflows uint64 must saturate and trip the budget — wrapping would
+  // make the product tiny and silently disarm the check.
+  Program Prog = chartProgram();
+  auto Policy = makeInsensitivePolicy();
+  ContextTable Table;
+  SolverOptions Options;
+  Options.Faults.TupleInflation = std::numeric_limits<uint64_t>::max();
+  Options.Budget.MaxTuples = std::numeric_limits<uint64_t>::max() - 1;
+  PointsToResult R = solvePointsTo(Prog, *Policy, Table, Options);
+  EXPECT_EQ(R.Status, SolveStatus::TupleBudgetExceeded);
+  expectConsistent(Prog, R);
 }

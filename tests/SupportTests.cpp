@@ -5,15 +5,20 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Ids.h"
+#include "support/Overflow.h"
 #include "support/Rng.h"
 #include "support/SetUtils.h"
 #include "support/StringInterner.h"
 #include "support/TableWriter.h"
+#include "support/Timer.h"
 #include "support/TupleInterner.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <limits>
 #include <sstream>
+#include <type_traits>
 
 using namespace intro;
 
@@ -192,4 +197,54 @@ TEST(TableWriter, Formatters) {
   EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
   EXPECT_EQ(TableWriter::num(uint64_t(42)), "42");
   EXPECT_EQ(TableWriter::percent(12.34), "12.3 %");
+}
+
+TEST(Timer, BackedByMonotonicClock) {
+  // The budget enforcement contract: a wall-clock adjustment (NTP, DST,
+  // manual change) mid-solve must not move elapsed time.  steady_clock is
+  // the only standard clock guaranteeing that.
+  static_assert(std::is_same_v<Timer::Clock, std::chrono::steady_clock>,
+                "Timer must use std::chrono::steady_clock");
+  EXPECT_TRUE(Timer::Clock::is_steady);
+}
+
+TEST(Timer, ElapsedIsNonNegativeAndMonotone) {
+  Timer Clock;
+  double Previous = 0.0;
+  for (int Sample = 0; Sample < 10000; ++Sample) {
+    double Now = Clock.seconds();
+    ASSERT_GE(Now, Previous) << "elapsed time went backwards";
+    Previous = Now;
+  }
+  EXPECT_GE(Clock.millis(), Previous * 1000.0);
+  Clock.reset();
+  EXPECT_GE(Clock.seconds(), 0.0);
+}
+
+TEST(Overflow, SaturatingMulExactWhenInRange) {
+  EXPECT_EQ(saturatingMul(6, 7), 42u);
+  EXPECT_EQ(saturatingMul(0, std::numeric_limits<uint64_t>::max()), 0u);
+  EXPECT_EQ(saturatingMul(std::numeric_limits<uint64_t>::max(), 1),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(Overflow, SaturatingMulClampsOnOverflow) {
+  // 2^32 * 2^32 = 2^64 wraps to 0 under plain uint64 multiplication — the
+  // exact bug class that disarmed the TupleInflation budget check.
+  EXPECT_EQ(saturatingMul(uint64_t(1) << 32, uint64_t(1) << 32),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(saturatingMul(std::numeric_limits<uint64_t>::max(), 2),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(saturatingMul(std::numeric_limits<uint64_t>::max(),
+                          std::numeric_limits<uint64_t>::max()),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(Overflow, SaturatingAdd) {
+  EXPECT_EQ(saturatingAdd(40, 2), 42u);
+  EXPECT_EQ(saturatingAdd(std::numeric_limits<uint64_t>::max(), 1),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(saturatingAdd(std::numeric_limits<uint64_t>::max(),
+                          std::numeric_limits<uint64_t>::max()),
+            std::numeric_limits<uint64_t>::max());
 }
