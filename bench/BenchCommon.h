@@ -19,9 +19,13 @@
 #include "analysis/Solver.h"
 #include "introspect/Driver.h"
 #include "ir/Program.h"
+#include "support/Json.h"
 #include "support/TableWriter.h"
+#include "support/Trace.h"
 #include "workload/DaCapo.h"
 
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 
@@ -68,10 +72,12 @@ inline std::unique_ptr<ContextPolicy> makeFlavor(Flavor F,
 /// One analysis run's reportable outcome.
 struct RunOutcome {
   std::string Analysis;
+  std::string Status; ///< SolveStatus name of the (final) solver run.
   bool Completed = false;
   double Seconds = 0;
   PrecisionMetrics Precision;
   uint64_t Tuples = 0;
+  SolverStats Stats;          ///< Full counters of the (final) solver run.
   RefinementStats Refinement; ///< Only for introspective runs.
 };
 
@@ -83,10 +89,12 @@ inline RunOutcome runPlain(const Program &Prog, const ContextPolicy &Policy) {
   PointsToResult Result = solvePointsTo(Prog, Policy, Table, Options);
   RunOutcome Outcome;
   Outcome.Analysis = Policy.name();
+  Outcome.Status = statusName(Result.Status);
   Outcome.Completed = isCompleted(Result.Status);
   Outcome.Seconds = Result.Stats.Seconds;
   Outcome.Tuples =
       Result.Stats.VarPointsToTuples + Result.Stats.FieldPointsToTuples;
+  Outcome.Stats = Result.Stats;
   Outcome.Precision = computePrecision(Prog, Result);
   return Outcome;
 }
@@ -101,10 +109,12 @@ inline RunOutcome runIntro(const Program &Prog, Flavor F,
   IntrospectiveOutcome Out = runIntrospective(Prog, *Refined, Options);
   RunOutcome Outcome;
   Outcome.Analysis = Out.SecondPass.AnalysisName;
+  Outcome.Status = statusName(Out.SecondPass.Status);
   Outcome.Completed = isCompleted(Out.SecondPass.Status);
   Outcome.Seconds = Out.SecondPassSeconds;
   Outcome.Tuples = Out.SecondPass.Stats.VarPointsToTuples +
                    Out.SecondPass.Stats.FieldPointsToTuples;
+  Outcome.Stats = Out.SecondPass.Stats;
   Outcome.Precision = computePrecision(Prog, Out.SecondPass);
   Outcome.Refinement = Out.Stats;
   return Outcome;
@@ -124,6 +134,112 @@ inline std::string precCell(const RunOutcome &Outcome, uint64_t Value) {
     return "-";
   return TableWriter::num(Value);
 }
+
+/// Extracts the `--trace=FILE` flag from the command line; empty string if
+/// absent.  FILE receives the Chrome trace_event JSON; the flat run report
+/// lands next to it (see TraceSession).
+inline std::string traceFile(int argc, char **argv) {
+  const std::string Flag = "--trace=";
+  for (int Index = 1; Index < argc; ++Index) {
+    std::string Arg = argv[Index];
+    if (Arg.compare(0, Flag.size(), Flag) == 0 && Arg.size() > Flag.size())
+      return Arg.substr(Flag.size());
+  }
+  return std::string();
+}
+
+/// \returns the run-report path belonging to trace path \p TracePath:
+/// `out.json` -> `out.report.json`; any other name just appends
+/// `.report.json`.
+inline std::string reportPathFor(const std::string &TracePath) {
+  const std::string Suffix = ".json";
+  if (TracePath.size() > Suffix.size() &&
+      TracePath.compare(TracePath.size() - Suffix.size(), Suffix.size(),
+                        Suffix) == 0)
+    return TracePath.substr(0, TracePath.size() - Suffix.size()) +
+           ".report.json";
+  return TracePath + ".report.json";
+}
+
+/// Harness-side tracing session: installs a trace::Recorder when the
+/// `--trace=FILE` flag is present, and on finish() writes
+///
+///   FILE             — Chrome trace_event JSON (chrome://tracing, Perfetto)
+///   *.report.json    — the flat machine-readable run report:
+///                      { "schema": ..., "deterministic": {...},
+///                        "timing": {...} }
+///
+/// The "deterministic" object (trace counters/span counts + the
+/// harness-provided bench section) is byte-identical across worker counts
+/// for a deterministic workload; everything wall-clock lives under
+/// "timing".  The two writer callbacks must each emit exactly one JSON
+/// value (the bench sections).
+class TraceSession {
+public:
+  explicit TraceSession(std::string TracePath) : Path(std::move(TracePath)) {
+    if (enabled())
+      Rec.start();
+  }
+
+  bool enabled() const { return !Path.empty(); }
+
+  /// Stops recording and writes both files.  Call after all worker threads
+  /// have been joined (the flush contract of support/Trace.h); the sweep
+  /// runner's pool is destroyed before runSweep returns, so calling this
+  /// after runSweep is safe.
+  template <typename DeterministicFn, typename TimingFn>
+  void finish(DeterministicFn &&WriteDeterministicBench,
+              TimingFn &&WriteTimingBench) {
+    if (!enabled())
+      return;
+    Rec.stop();
+
+    std::ofstream TraceOut(Path);
+    if (!TraceOut) {
+      std::cerr << "error: cannot write trace file: " << Path << "\n";
+      return;
+    }
+    Rec.writeChromeTrace(TraceOut);
+
+    std::string ReportPath = reportPathFor(Path);
+    std::ofstream ReportOut(ReportPath);
+    if (!ReportOut) {
+      std::cerr << "error: cannot write run report: " << ReportPath << "\n";
+      return;
+    }
+    JsonWriter J(ReportOut);
+    J.beginObject();
+    J.key("schema");
+    J.value("intro-run-report-v1");
+    J.key("deterministic");
+    J.beginObject();
+    J.key("trace");
+    Rec.writeDeterministicSummary(J);
+    J.key("bench");
+    WriteDeterministicBench(J);
+    J.endObject();
+    J.key("timing");
+    J.beginObject();
+    J.key("span_seconds");
+    J.beginObject();
+    for (const auto &[Name, Summary] : Rec.spans()) {
+      J.key(Name);
+      J.value(static_cast<double>(Summary.TotalNs) / 1e9);
+    }
+    J.endObject();
+    J.key("bench");
+    WriteTimingBench(J);
+    J.endObject();
+    J.endObject();
+    ReportOut << '\n';
+    std::cout << "\ntrace written: " << Path << "\nrun report: " << ReportPath
+              << "\n";
+  }
+
+private:
+  std::string Path;
+  trace::Recorder Rec;
+};
 
 } // namespace intro::bench
 

@@ -30,9 +30,14 @@
 namespace intro::bench {
 
 /// Emits the paper-style rows for one figure, fanning the subject x
-/// analysis cells over \p Workers threads.
+/// analysis cells over \p Workers threads.  A non-empty \p TracePath
+/// additionally records a structured trace of the whole sweep and writes
+/// the Chrome trace plus the machine-readable run report (BenchCommon.h's
+/// TraceSession).
 inline int runFlavorFigure(Flavor F, const char *FigureName,
-                           const char *ExpectedShape, unsigned Workers) {
+                           const char *ExpectedShape, unsigned Workers,
+                           std::string TracePath = std::string()) {
+  TraceSession Trace(std::move(TracePath));
   std::cout << FigureName << ": performance and precision for introspective "
             << flavorName(F) << " variants\n"
             << "(DNF = resource budget exceeded; precision cells of DNF "
@@ -103,6 +108,59 @@ inline int runFlavorFigure(Flavor F, const char *FigureName,
   std::cout << "\nReachable casts that may fail (lower is more precise)\n";
   Casts.print(std::cout);
   std::cout << "\nExpected shape (paper): " << ExpectedShape << "\n";
+
+  // The run report's bench sections.  Deterministic part: one attempt row
+  // per (subject, analysis) cell with the schedule-independent solver
+  // counters — the sweep runs every cell at any worker count, so this is
+  // byte-identical across --workers values.  Timing part: wall-clock.
+  Trace.finish(
+      [&](JsonWriter &J) {
+        J.beginObject();
+        J.key("figure");
+        J.value(FigureName);
+        J.key("flavor");
+        J.value(flavorName(F));
+        J.key("attempts");
+        J.beginArray();
+        for (size_t Index = 0; Index < Cells.size(); ++Index) {
+          const RunOutcome &Cell = Cells[Index];
+          J.beginObject();
+          J.key("index");
+          J.value(static_cast<uint64_t>(Index + 1));
+          J.key("subject");
+          J.value(Subjects[Index / CellsPerSubject].Name);
+          J.key("analysis");
+          J.value(Cell.Analysis);
+          J.key("status");
+          J.value(Cell.Status);
+          J.key("completed");
+          J.value(Cell.Completed);
+          J.key("tuples");
+          J.value(Cell.Tuples);
+          J.key("worklist_pops");
+          J.value(Cell.Stats.WorklistPops);
+          J.key("contexts");
+          J.value(Cell.Stats.NumContexts);
+          J.key("reachable_method_contexts");
+          J.value(Cell.Stats.ReachableMethodContexts);
+          J.key("call_graph_edges");
+          J.value(Cell.Stats.CallGraphEdges);
+          J.endObject();
+        }
+        J.endArray();
+        J.endObject();
+      },
+      [&](JsonWriter &J) {
+        J.beginObject();
+        J.key("workers");
+        J.value(Workers);
+        J.key("attempt_seconds");
+        J.beginArray();
+        for (const RunOutcome &Cell : Cells)
+          J.value(Cell.Seconds);
+        J.endArray();
+        J.endObject();
+      });
   return 0;
 }
 

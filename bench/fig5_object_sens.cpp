@@ -13,5 +13,6 @@ int main(int argc, char **argv) {
       "bloat); IntroA scales to all benchmarks with moderate precision\n"
       "gains over insens; IntroB scales to all but jython while keeping\n"
       "most of 2objH's precision.",
-      intro::bench::sweepWorkers(argc, argv));
+      intro::bench::sweepWorkers(argc, argv),
+      intro::bench::traceFile(argc, argv));
 }

@@ -12,5 +12,6 @@ int main(int argc, char **argv) {
       "2typeH blows up on jython only; IntroB scales to all programs with\n"
       "precision close to full 2typeH; IntroA has near-perfect\n"
       "scalability with lower precision gains.",
-      intro::bench::sweepWorkers(argc, argv));
+      intro::bench::sweepWorkers(argc, argv),
+      intro::bench::traceFile(argc, argv));
 }

@@ -12,5 +12,6 @@ int main(int argc, char **argv) {
       "base 2callH does not terminate on 4 of 6 benchmarks; IntroA\n"
       "terminates on all, IntroB on all but jython; where 2callH\n"
       "completes, IntroB matches its full precision on every metric.",
-      intro::bench::sweepWorkers(argc, argv));
+      intro::bench::sweepWorkers(argc, argv),
+      intro::bench::traceFile(argc, argv));
 }

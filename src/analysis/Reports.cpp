@@ -8,6 +8,7 @@
 
 #include "analysis/Result.h"
 #include "ir/Program.h"
+#include "support/Json.h"
 
 #include <ostream>
 #include <string>
@@ -84,4 +85,37 @@ void intro::writePointsToReport(const Program &Prog,
       Out << " }\n";
     }
   }
+}
+
+void intro::writeSolverStatsJson(JsonWriter &J, const SolverStats &Stats) {
+  J.beginObject();
+  J.key("seconds");
+  J.value(Stats.Seconds);
+  J.key("var_points_to_tuples");
+  J.value(Stats.VarPointsToTuples);
+  J.key("field_points_to_tuples");
+  J.value(Stats.FieldPointsToTuples);
+  J.key("throw_points_to_tuples");
+  J.value(Stats.ThrowPointsToTuples);
+  J.key("static_field_tuples");
+  J.value(Stats.StaticFieldTuples);
+  J.key("var_nodes");
+  J.value(Stats.NumVarNodes);
+  J.key("field_nodes");
+  J.value(Stats.NumFieldNodes);
+  J.key("objects");
+  J.value(Stats.NumObjects);
+  J.key("contexts");
+  J.value(Stats.NumContexts);
+  J.key("heap_contexts");
+  J.value(Stats.NumHeapContexts);
+  J.key("reachable_method_contexts");
+  J.value(Stats.ReachableMethodContexts);
+  J.key("call_graph_edges");
+  J.value(Stats.CallGraphEdges);
+  J.key("worklist_pops");
+  J.value(Stats.WorklistPops);
+  J.key("approx_bytes");
+  J.value(Stats.ApproxBytes);
+  J.endObject();
 }

@@ -18,8 +18,10 @@
 
 namespace intro {
 
+class JsonWriter;
 class PointsToResult;
 class Program;
+struct SolverStats;
 
 /// Writes the resolved call graph (one node per reachable method, one edge
 /// per (call site, target) pair, contexts collapsed) as Graphviz DOT.
@@ -30,6 +32,12 @@ void writeCallGraphDot(const Program &Prog, const PointsToResult &Result,
 /// reachable method with a non-empty points-to set.
 void writePointsToReport(const Program &Prog, const PointsToResult &Result,
                          std::ostream &Out);
+
+/// Writes \p Stats as one JSON object (all SolverStats fields by name).
+/// `seconds` is wall-clock and therefore run-dependent; everything else is
+/// deterministic for a deterministic solve.  Used by the machine-readable
+/// run reports (`--trace=FILE`).
+void writeSolverStatsJson(JsonWriter &J, const SolverStats &Stats);
 
 } // namespace intro
 

@@ -10,6 +10,7 @@
 #include "ir/Program.h"
 #include "support/Overflow.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <set>
@@ -54,9 +55,19 @@ class Solver {
 public:
   Solver(const Program &Prog, const ContextPolicy &Policy, ContextTable &Ctxs,
          const SolverOptions &Opts)
-      : Prog(Prog), Policy(Policy), Ctxs(Ctxs), Opts(Opts) {}
+      : Prog(Prog), Policy(Policy), Ctxs(Ctxs), Opts(Opts) {
+    // Degenerate-knob clamp: CancelInterval is a modulus in the stop check;
+    // 0 means "poll every iteration", exactly like 1.  Make that explicit
+    // here (and observable in the trace) rather than relying on the
+    // short-circuit in stopRequested().
+    if (this->Opts.CancelInterval == 0) {
+      this->Opts.CancelInterval = 1;
+      TRACE_INSTANT("solve.clamp.cancel_interval", 1);
+    }
+  }
 
   PointsToResult run() {
+    TRACE_SPAN("solve.run");
     CtxId Initial = Policy.initialContext(Ctxs);
     for (MethodId Entry : Prog.entries())
       enqueueReachable(Entry, Initial);
@@ -87,9 +98,11 @@ private:
   /// Tests every stop condition, cheapest first.  Sets Status and \returns
   /// true if the run must abort at this iteration.
   bool stopRequested(uint64_t Checkpoint) {
+    BudgetChecks = Checkpoint;
     if (Opts.Faults.FailAtPop != 0 && Pops >= Opts.Faults.FailAtPop &&
         Opts.Faults.FailStatus != SolveStatus::Completed) {
       Status = Opts.Faults.FailStatus;
+      TRACE_INSTANT("solve.trip.fault", Pops);
       return true;
     }
     // Saturating multiply: a pathological inflation factor must trip the
@@ -99,20 +112,32 @@ private:
                                        Opts.Faults.TupleInflation, 1)) >
         Opts.Budget.MaxTuples) {
       Status = SolveStatus::TupleBudgetExceeded;
+      TRACE_INSTANT("solve.trip.tuple_budget", TotalTuples);
       return true;
     }
     if (Opts.Budget.MaxBytes != 0 && ApproxBytes > Opts.Budget.MaxBytes) {
       Status = SolveStatus::MemoryBudgetExceeded;
+      TRACE_INSTANT("solve.trip.memory_budget", ApproxBytes);
       return true;
     }
-    if (Checkpoint % 1024 == 0 && Clock.seconds() > Opts.Budget.MaxSeconds) {
-      Status = SolveStatus::TimeBudgetExceeded;
-      return true;
+    if (Checkpoint % 1024 == 0) {
+      // Piggyback the periodic delta-relation sample on the existing clock
+      // checkpoint so tracing adds no modulus of its own to the hot loop.
+      // For a single-threaded solve both values are schedule-independent,
+      // so the sample sequence is deterministic (see DESIGN.md §8).
+      TRACE_INSTANT("solve.sample.tuples", TotalTuples);
+      TRACE_INSTANT("solve.sample.worklist_depth", Worklist.size());
+      if (Clock.seconds() > Opts.Budget.MaxSeconds) {
+        Status = SolveStatus::TimeBudgetExceeded;
+        TRACE_INSTANT("solve.trip.time_budget", Pops);
+        return true;
+      }
     }
     if (Opts.Cancel &&
         (Opts.CancelInterval <= 1 || Checkpoint % Opts.CancelInterval == 0) &&
         Opts.Cancel->isCancelled()) {
       Status = SolveStatus::Cancelled;
+      TRACE_INSTANT("solve.trip.cancelled", Pops);
       return true;
     }
     return false;
@@ -442,6 +467,17 @@ private:
   // --- Result assembly ---------------------------------------------------------
 
   PointsToResult finish() {
+    // Counters are accumulated in the existing locals (Pops, TotalTuples,
+    // ...) and published once here — the hot loop pays nothing for them.
+    TRACE_COUNTER("solve.runs", 1);
+    TRACE_COUNTER("solve.pops", Pops);
+    TRACE_COUNTER("solve.tuples", TotalTuples);
+    TRACE_COUNTER("solve.budget_checks", BudgetChecks);
+    TRACE_COUNTER("solve.reachable_method_contexts", ReachableList.size());
+    TRACE_COUNTER("solve.call_graph_edges", CallEdgeProjection.size());
+    TRACE_COUNTER("solve.nodes", Nodes.size());
+    TRACE_COUNTER("solve.objects", Objects.size());
+
     PointsToResult Result;
     Result.Status = Status;
     Result.AnalysisName = Policy.name();
@@ -582,6 +618,7 @@ private:
   uint64_t TotalTuples = 0;
   uint64_t ApproxBytes = 0;
   uint64_t Pops = 0;
+  uint64_t BudgetChecks = 0;
   SolveStatus Status = SolveStatus::Completed;
 };
 

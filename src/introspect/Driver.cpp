@@ -8,6 +8,7 @@
 
 #include "ir/Program.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 using namespace intro;
 
@@ -20,6 +21,7 @@ intro::runIntrospective(const Program &Prog,
 
   // Pass 1: context-insensitive, with SITETOREFINE/OBJECTTOREFINE empty.
   {
+    TRACE_SPAN("introspect.first_pass");
     Timer Clock;
     ContextTable Table;
     SolverOptions SolverOpts;
@@ -32,6 +34,7 @@ intro::runIntrospective(const Program &Prog,
 
   // Introspection: query the first pass for the elements to not refine.
   {
+    TRACE_SPAN("introspect.metrics");
     Timer Clock;
     Out.Metrics = computeIntrospectionMetrics(Prog, Out.FirstPass);
     Out.Exceptions =
@@ -46,6 +49,7 @@ intro::runIntrospective(const Program &Prog,
 
   // Pass 2: identical analysis code, refinement exceptions installed.
   {
+    TRACE_SPAN("introspect.main_pass");
     std::string Name = RefinedPolicy.name();
     Name += Options.Heuristic == HeuristicKind::A ? "-IntroA" : "-IntroB";
     auto Policy = makeIntrospectivePolicy(std::move(Name), *Insensitive,

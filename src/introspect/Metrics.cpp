@@ -9,6 +9,7 @@
 #include "analysis/Result.h"
 #include "ir/Program.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 
@@ -118,13 +119,24 @@ intro::computeIntrospectionMetrics(const Program &Prog,
   IntrospectionMetrics M;
   initMetrics(M, Prog);
 
-  inFlowRange(Prog, Insens, 0, static_cast<uint32_t>(Prog.numSites()),
-              M.InFlow);
-  std::vector<const FieldCell *> Cells = collectFieldCells(Insens);
-  fieldCellRange(Cells, 0, Cells.size(), M.ObjectTotalFieldPointsTo,
-                 M.ObjectMaxFieldPointsTo, M.PointedByObjs);
-  methodRange(Prog, Insens, 0, static_cast<uint32_t>(Prog.numMethods()), M,
-              M.PointedByVars);
+  // Spans are per *phase*, never per shard: shard counts vary with the
+  // worker count, and the trace content must not (DESIGN.md §8).
+  {
+    TRACE_SPAN("metrics.in_flow");
+    inFlowRange(Prog, Insens, 0, static_cast<uint32_t>(Prog.numSites()),
+                M.InFlow);
+  }
+  {
+    TRACE_SPAN("metrics.field_cells");
+    std::vector<const FieldCell *> Cells = collectFieldCells(Insens);
+    fieldCellRange(Cells, 0, Cells.size(), M.ObjectTotalFieldPointsTo,
+                   M.ObjectMaxFieldPointsTo, M.PointedByObjs);
+  }
+  {
+    TRACE_SPAN("metrics.methods");
+    methodRange(Prog, Insens, 0, static_cast<uint32_t>(Prog.numMethods()), M,
+                M.PointedByVars);
+  }
   return M;
 }
 
@@ -136,58 +148,69 @@ intro::computeIntrospectionMetrics(const Program &Prog,
   initMetrics(M, Prog);
   size_t Shards = Pool.workerCount();
 
-  // Phase 1a — in-flow: disjoint per-site writes, no merge needed.
-  parallelForShards(Pool, Prog.numSites(), Shards,
-                    [&](size_t, size_t Begin, size_t End) {
-                      inFlowRange(Prog, Insens, static_cast<uint32_t>(Begin),
-                                  static_cast<uint32_t>(End), M.InFlow);
-                    });
+  // Phase 1a — in-flow: disjoint per-site writes, no merge needed.  The
+  // span wraps the whole phase on the calling thread (per-shard spans would
+  // make trace content depend on the worker count; DESIGN.md §8).
+  {
+    TRACE_SPAN("metrics.in_flow");
+    parallelForShards(Pool, Prog.numSites(), Shards,
+                      [&](size_t, size_t Begin, size_t End) {
+                        inFlowRange(Prog, Insens, static_cast<uint32_t>(Begin),
+                                    static_cast<uint32_t>(End), M.InFlow);
+                      });
+  }
 
   // Phase 1b — field cells: per-shard accumulation, merged by sum / max /
   // sum in shard-index order (any order gives the same integers).
-  std::vector<const FieldCell *> Cells = collectFieldCells(Insens);
-  struct FieldAccum {
-    std::vector<uint64_t> Total, Max, PointedByObjs;
-  };
-  std::vector<FieldAccum> FieldShards(std::max<size_t>(
-      1, std::min(Shards, std::max<size_t>(Cells.size(), 1))));
-  parallelForShards(
-      Pool, Cells.size(), FieldShards.size(),
-      [&](size_t Shard, size_t Begin, size_t End) {
-        FieldAccum &A = FieldShards[Shard];
-        A.Total.assign(Prog.numHeaps(), 0);
-        A.Max.assign(Prog.numHeaps(), 0);
-        A.PointedByObjs.assign(Prog.numHeaps(), 0);
-        fieldCellRange(Cells, Begin, End, A.Total, A.Max, A.PointedByObjs);
-      });
-  for (const FieldAccum &A : FieldShards) {
-    if (A.Total.empty())
-      continue; // Shard never ran (more shards than cells).
-    for (size_t Heap = 0; Heap < Prog.numHeaps(); ++Heap) {
-      M.ObjectTotalFieldPointsTo[Heap] += A.Total[Heap];
-      M.ObjectMaxFieldPointsTo[Heap] =
-          std::max(M.ObjectMaxFieldPointsTo[Heap], A.Max[Heap]);
-      M.PointedByObjs[Heap] += A.PointedByObjs[Heap];
+  {
+    TRACE_SPAN("metrics.field_cells");
+    std::vector<const FieldCell *> Cells = collectFieldCells(Insens);
+    struct FieldAccum {
+      std::vector<uint64_t> Total, Max, PointedByObjs;
+    };
+    std::vector<FieldAccum> FieldShards(std::max<size_t>(
+        1, std::min(Shards, std::max<size_t>(Cells.size(), 1))));
+    parallelForShards(
+        Pool, Cells.size(), FieldShards.size(),
+        [&](size_t Shard, size_t Begin, size_t End) {
+          FieldAccum &A = FieldShards[Shard];
+          A.Total.assign(Prog.numHeaps(), 0);
+          A.Max.assign(Prog.numHeaps(), 0);
+          A.PointedByObjs.assign(Prog.numHeaps(), 0);
+          fieldCellRange(Cells, Begin, End, A.Total, A.Max, A.PointedByObjs);
+        });
+    for (const FieldAccum &A : FieldShards) {
+      if (A.Total.empty())
+        continue; // Shard never ran (more shards than cells).
+      for (size_t Heap = 0; Heap < Prog.numHeaps(); ++Heap) {
+        M.ObjectTotalFieldPointsTo[Heap] += A.Total[Heap];
+        M.ObjectMaxFieldPointsTo[Heap] =
+            std::max(M.ObjectMaxFieldPointsTo[Heap], A.Max[Heap]);
+        M.PointedByObjs[Heap] += A.PointedByObjs[Heap];
+      }
     }
   }
 
   // Phase 2 — methods: needs the merged ObjectMaxFieldPointsTo from phase
   // 1b.  Per-method outputs are disjoint writes; PointedByVars goes through
   // per-shard scratch summed in shard order.
-  std::vector<std::vector<uint64_t>> VarShards(std::max<size_t>(
-      1, std::min(Shards, std::max<size_t>(Prog.numMethods(), 1))));
-  parallelForShards(Pool, Prog.numMethods(), VarShards.size(),
-                    [&](size_t Shard, size_t Begin, size_t End) {
-                      VarShards[Shard].assign(Prog.numHeaps(), 0);
-                      methodRange(Prog, Insens, static_cast<uint32_t>(Begin),
-                                  static_cast<uint32_t>(End), M,
-                                  VarShards[Shard]);
-                    });
-  for (const std::vector<uint64_t> &Shard : VarShards) {
-    if (Shard.empty())
-      continue;
-    for (size_t Heap = 0; Heap < Prog.numHeaps(); ++Heap)
-      M.PointedByVars[Heap] += Shard[Heap];
+  {
+    TRACE_SPAN("metrics.methods");
+    std::vector<std::vector<uint64_t>> VarShards(std::max<size_t>(
+        1, std::min(Shards, std::max<size_t>(Prog.numMethods(), 1))));
+    parallelForShards(Pool, Prog.numMethods(), VarShards.size(),
+                      [&](size_t Shard, size_t Begin, size_t End) {
+                        VarShards[Shard].assign(Prog.numHeaps(), 0);
+                        methodRange(Prog, Insens, static_cast<uint32_t>(Begin),
+                                    static_cast<uint32_t>(End), M,
+                                    VarShards[Shard]);
+                      });
+    for (const std::vector<uint64_t> &Shard : VarShards) {
+      if (Shard.empty())
+        continue;
+      for (size_t Heap = 0; Heap < Prog.numHeaps(); ++Heap)
+        M.PointedByVars[Heap] += Shard[Heap];
+    }
   }
 
   return M;

@@ -6,10 +6,13 @@
 
 #include "introspect/Resilient.h"
 
+#include "analysis/Reports.h"
 #include "ir/Program.h"
+#include "support/Json.h"
 #include "support/TableWriter.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cmath>
@@ -36,6 +39,8 @@ const char *intro::degradationLevelName(DegradationLevel Level) {
 }
 
 std::string intro::formatAttemptTrace(const AttemptTrace &Trace) {
+  if (Trace.empty())
+    return "(no attempts)\n";
   TableWriter Table(
       {"#", "level", "analysis", "status", "seconds", "tuples", "pops"});
   for (size_t Index = 0; Index < Trace.size(); ++Index) {
@@ -56,6 +61,24 @@ std::string intro::formatAttemptTrace(const AttemptTrace &Trace) {
 }
 
 namespace {
+
+/// Static-storage span name of one ladder rung (trace event names must
+/// outlive the recorder; see support/Trace.h).
+const char *rungSpanName(DegradationLevel Level) {
+  switch (Level) {
+  case DegradationLevel::Deep:
+    return "rung.deep";
+  case DegradationLevel::IntroB:
+    return "rung.introB";
+  case DegradationLevel::IntroA:
+    return "rung.introA";
+  case DegradationLevel::TightenedIntroA:
+    return "rung.introA_tightened";
+  case DegradationLevel::Insensitive:
+    return "rung.insensitive";
+  }
+  return "rung.unknown";
+}
 
 /// Divides every Heuristic A threshold by BackoffMultiplier^Round.  A
 /// multiplier that cannot tighten (non-finite, zero, negative, or below 1)
@@ -152,6 +175,7 @@ private:
     SolverOpts.Cancel = Options.Cancel;
     SolverOpts.CancelInterval = Options.CancelInterval;
     SolverOpts.Faults = Options.faultsFor(Level);
+    trace::ScopedSpan RungSpan(rungSpanName(Level));
     Timer Clock;
     PointsToResult R = solvePointsTo(Prog, Policy, Table, SolverOpts);
     Out.Trace.push_back(
@@ -338,6 +362,10 @@ private:
         break;
       }
     }
+    TRACE_COUNTER("portfolio.rungs_launched", Rungs.size());
+    if (Winner)
+      TRACE_INSTANT("portfolio.winner_level",
+                    static_cast<uint64_t>(Winner->Level));
 
     // The race is decided: stop the losers, then collect them for the
     // trace.  Launch order IS the sequential ladder-walk order (deep,
@@ -414,7 +442,11 @@ private:
     SolverOpts.Faults = Options.faultsFor(Level);
     const Program *ProgPtr = &Prog;
     const ContextPolicy *PolicyPtr = &Policy;
-    R.Pending = Pool.submit([ProgPtr, PolicyPtr, SolverOpts] {
+    R.Pending = Pool.submit([ProgPtr, PolicyPtr, SolverOpts, Level] {
+      // The rung span is recorded on the worker thread; the recorder merges
+      // per-thread buffers at flush, and summaries key on the name alone,
+      // so the merged content does not depend on which worker ran the rung.
+      trace::ScopedSpan RungSpan(rungSpanName(Level));
       Timer Clock;
       ContextTable Table;
       PointsToResult Result =
@@ -446,6 +478,10 @@ private:
   }
 
   void cancelAll() {
+    // One fan-out event for the whole sweep (count = rungs reached), not
+    // one per rung: the number of *launched* rungs is deterministic, and
+    // a single instant keeps it that way in the trace content.
+    TRACE_INSTANT("portfolio.cancel_fanout", Rungs.size());
     for (PortfolioRung &R : Rungs)
       R.Cancel.cancel();
   }
@@ -457,12 +493,118 @@ private:
   std::deque<PortfolioRung> Rungs; ///< In ladder-walk (launch) order.
 };
 
+/// One attempt as a JSON object; \p Won marks the rung the outcome came
+/// from (false when writing a bare trace with no outcome context).
+void writeAttemptJson(JsonWriter &J, const Attempt &A, size_t Index,
+                      bool Won) {
+  J.beginObject();
+  J.key("index");
+  J.value(static_cast<uint64_t>(Index + 1));
+  J.key("level");
+  J.value(degradationLevelName(A.Level));
+  J.key("tightened_round");
+  J.value(A.TightenedRound);
+  J.key("analysis");
+  J.value(A.AnalysisName);
+  J.key("status");
+  J.value(statusName(A.Status));
+  J.key("won");
+  J.value(Won);
+  J.key("seconds");
+  J.value(A.Seconds);
+  J.key("stats");
+  writeSolverStatsJson(J, A.Stats);
+  J.endObject();
+}
+
 } // namespace
+
+ResilientOptions
+intro::normalizeResilientOptions(const ResilientOptions &Options,
+                                 std::vector<std::string> &Notes) {
+  ResilientOptions N = Options;
+  if (N.CancelInterval == 0) {
+    N.CancelInterval = 1;
+    Notes.push_back("CancelInterval=0 clamped to 1 (it is a modulus in the "
+                    "solver's stop check; 1 polls every iteration)");
+  }
+  if (!std::isfinite(N.BackoffMultiplier) || N.BackoffMultiplier < 1.0) {
+    std::ostringstream Note;
+    Note << "BackoffMultiplier=" << N.BackoffMultiplier
+         << " cannot tighten; clamped to 1 (tightened rounds repeat the "
+            "base thresholds)";
+    Notes.push_back(Note.str());
+    N.BackoffMultiplier = 1.0;
+  }
+  if (N.Portfolio && N.Workers == 0) {
+    N.Workers = std::max(1u, ThreadPool::defaultWorkerCount());
+    Notes.push_back("Workers=0 (auto) resolved to " +
+                    std::to_string(N.Workers));
+  }
+  return N;
+}
+
+void intro::writeAttemptTraceJson(JsonWriter &J, const AttemptTrace &Trace) {
+  J.beginArray();
+  for (size_t Index = 0; Index < Trace.size(); ++Index)
+    writeAttemptJson(J, Trace[Index], Index, /*Won=*/false);
+  J.endArray();
+}
+
+void intro::writeResilientOutcomeJson(JsonWriter &J,
+                                      const ResilientOutcome &Outcome) {
+  // The winning attempt: the first trace row that completed on the winning
+  // rung under the winning analysis name.  At most one row matches; none
+  // match when nothing completed (all-failed or cancelled runs).
+  size_t WinnerIndex = Outcome.Trace.size();
+  if (Outcome.completed())
+    for (size_t Index = 0; Index < Outcome.Trace.size(); ++Index) {
+      const Attempt &A = Outcome.Trace[Index];
+      if (isCompleted(A.Status) && A.Level == Outcome.Level &&
+          A.AnalysisName == Outcome.Result.AnalysisName) {
+        WinnerIndex = Index;
+        break;
+      }
+    }
+
+  J.beginObject();
+  J.key("level");
+  J.value(degradationLevelName(Outcome.Level));
+  J.key("analysis");
+  J.value(Outcome.Result.AnalysisName);
+  J.key("status");
+  J.value(statusName(Outcome.Result.Status));
+  J.key("completed");
+  J.value(Outcome.completed());
+  J.key("cancelled");
+  J.value(Outcome.Cancelled);
+  J.key("metric_seconds");
+  J.value(Outcome.MetricSeconds);
+  J.key("total_seconds");
+  J.value(Outcome.TotalSeconds);
+  J.key("notes");
+  J.beginArray();
+  for (const std::string &Note : Outcome.Notes)
+    J.value(Note);
+  J.endArray();
+  J.key("stats");
+  writeSolverStatsJson(J, Outcome.Result.Stats);
+  J.key("attempts");
+  J.beginArray();
+  for (size_t Index = 0; Index < Outcome.Trace.size(); ++Index)
+    writeAttemptJson(J, Outcome.Trace[Index], Index, Index == WinnerIndex);
+  J.endArray();
+  J.endObject();
+}
 
 ResilientOutcome intro::runResilient(const Program &Prog,
                                      const ContextPolicy &RefinedPolicy,
                                      const ResilientOptions &Options) {
-  if (Options.Portfolio)
-    return Portfolio(Prog, RefinedPolicy, Options).run();
-  return Ladder(Prog, RefinedPolicy, Options).run();
+  std::vector<std::string> Notes;
+  ResilientOptions Normalized = normalizeResilientOptions(Options, Notes);
+  ResilientOutcome Out = Normalized.Portfolio
+                             ? Portfolio(Prog, RefinedPolicy, Normalized).run()
+                             : Ladder(Prog, RefinedPolicy, Normalized).run();
+  Out.Notes = std::move(Notes);
+  return Out;
 }

@@ -51,8 +51,12 @@
 #include "introspect/Driver.h"
 
 #include <array>
+#include <string>
+#include <vector>
 
 namespace intro {
+
+class JsonWriter;
 
 /// The rungs of the degradation ladder, in descending analysis strength.
 /// Also indexes ResilientOptions::LevelFaults.
@@ -87,7 +91,8 @@ struct Attempt {
 /// position with Level == Insensitive.
 using AttemptTrace = std::vector<Attempt>;
 
-/// Renders \p Trace as an aligned ASCII table (one row per attempt).
+/// Renders \p Trace as an aligned ASCII table (one row per attempt), or a
+/// stable "(no attempts)" placeholder when \p Trace is empty.
 std::string formatAttemptTrace(const AttemptTrace &Trace);
 
 /// Options of a resilient run.
@@ -172,10 +177,37 @@ struct ResilientOutcome {
   double MetricSeconds = 0;
   /// Total wall-clock of the whole ladder (attempts + metrics).
   double TotalSeconds = 0;
+  /// Human-readable normalization notes: every degenerate option the run
+  /// clamped or resolved (Workers == 0, CancelInterval == 0, a
+  /// BackoffMultiplier that cannot tighten, ...).  Surfaced in the
+  /// machine-readable run report so a misconfigured service is visible in
+  /// its own telemetry.
+  std::vector<std::string> Notes;
 
   /// \returns true if Result is a completed (fixpoint) analysis.
   bool completed() const { return isCompleted(Result.Status); }
 };
+
+/// Returns a copy of \p Options with every degenerate knob clamped to its
+/// documented minimum, appending one note per adjustment to \p Notes:
+/// CancelInterval == 0 -> 1 (it is a modulus in the solver's stop check),
+/// Workers == 0 -> the resolved auto worker count, BackoffMultiplier that
+/// cannot tighten (non-finite or < 1) -> 1.  runResilient() applies this
+/// itself; it is exposed for tests and for callers that want the notes
+/// without running.
+ResilientOptions normalizeResilientOptions(const ResilientOptions &Options,
+                                           std::vector<std::string> &Notes);
+
+/// Writes \p Trace as a JSON array: one object per attempt with its level,
+/// tightened round, analysis name, status, wall-clock seconds, and full
+/// solver stats.  An empty trace yields `[]`.
+void writeAttemptTraceJson(JsonWriter &J, const AttemptTrace &Trace);
+
+/// Writes \p Outcome as one JSON object: winning level/status, cancellation
+/// flag, timing, normalization notes, and the attempt trace where each
+/// attempt carries a `"won"` flag (portfolio win/loss per rung; exactly one
+/// attempt wins unless nothing completed).
+void writeResilientOutcomeJson(JsonWriter &J, const ResilientOutcome &Outcome);
 
 /// Runs the degradation ladder on \p Prog with \p RefinedPolicy (e.g.
 /// 2objH) as the deep rung, returning the deepest analysis that completes

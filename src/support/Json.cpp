@@ -1,0 +1,131 @@
+//===- support/Json.cpp - Minimal streaming JSON writer -------------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace intro;
+
+void JsonWriter::prefix() {
+  if (PendingKey) {
+    // The comma (if any) was emitted with the key.
+    PendingKey = false;
+    return;
+  }
+  if (!Stack.empty()) {
+    assert(!Stack.back().IsObject && "object members need a key() first");
+    if (Stack.back().HasElements)
+      Out << ',';
+    Stack.back().HasElements = true;
+  }
+}
+
+void JsonWriter::beginObject() {
+  prefix();
+  Stack.push_back({/*IsObject=*/true});
+  Out << '{';
+}
+
+void JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back().IsObject && "unbalanced endObject");
+  Stack.pop_back();
+  Out << '}';
+}
+
+void JsonWriter::beginArray() {
+  prefix();
+  Stack.push_back({/*IsObject=*/false});
+  Out << '[';
+}
+
+void JsonWriter::endArray() {
+  assert(!Stack.empty() && !Stack.back().IsObject && "unbalanced endArray");
+  Stack.pop_back();
+  Out << ']';
+}
+
+void JsonWriter::key(std::string_view Name) {
+  assert(!Stack.empty() && Stack.back().IsObject && "key() outside object");
+  assert(!PendingKey && "key() twice without a value");
+  if (Stack.back().HasElements)
+    Out << ',';
+  Stack.back().HasElements = true;
+  Out << '"' << escape(Name) << "\":";
+  PendingKey = true;
+}
+
+void JsonWriter::value(std::string_view Text) {
+  prefix();
+  Out << '"' << escape(Text) << '"';
+}
+
+void JsonWriter::value(uint64_t Number) {
+  prefix();
+  Out << Number;
+}
+
+void JsonWriter::value(int64_t Number) {
+  prefix();
+  Out << Number;
+}
+
+void JsonWriter::value(bool Flag) {
+  prefix();
+  Out << (Flag ? "true" : "false");
+}
+
+void JsonWriter::value(double Number) {
+  if (!std::isfinite(Number)) {
+    null();
+    return;
+  }
+  prefix();
+  char Buffer[64];
+  // %.17g round-trips every finite double and never prints nan/inf here.
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", Number);
+  Out << Buffer;
+}
+
+void JsonWriter::null() {
+  prefix();
+  Out << "null";
+}
+
+std::string JsonWriter::escape(std::string_view Text) {
+  std::string Result;
+  Result.reserve(Text.size());
+  for (unsigned char C : Text) {
+    switch (C) {
+    case '"':
+      Result += "\\\"";
+      break;
+    case '\\':
+      Result += "\\\\";
+      break;
+    case '\n':
+      Result += "\\n";
+      break;
+    case '\r':
+      Result += "\\r";
+      break;
+    case '\t':
+      Result += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
+        Result += Buffer;
+      } else {
+        Result += static_cast<char>(C);
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,85 @@
+//===- support/Json.h - Minimal streaming JSON writer -----------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, allocation-light streaming JSON emitter used by the tracing
+/// layer and the machine-readable run reports.  The caller drives the
+/// structure (beginObject/key/value/...), so field order — and therefore
+/// byte-level output — is fully deterministic; the writer only handles
+/// commas, escaping, and numeric formatting.
+///
+/// Robustness rule for reports: non-finite doubles (NaN, ±inf) are emitted
+/// as `null`, never as bare `nan`/`inf` tokens — a single degenerate ratio
+/// upstream must not make a whole report unparseable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_JSON_H
+#define SUPPORT_JSON_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace intro {
+
+/// Streams syntactically valid JSON to an ostream.  Usage:
+/// \code
+///   JsonWriter J(Out);
+///   J.beginObject();
+///   J.key("pops");    J.value(uint64_t(42));
+///   J.key("spans");   J.beginArray(); J.value("solve"); J.endArray();
+///   J.endObject();
+/// \endcode
+/// Misuse (value without key inside an object, unbalanced begin/end) is a
+/// programming error caught by assertions in debug builds.
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream &Out) : Out(Out) {}
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits an object key; must be followed by exactly one value or
+  /// container.
+  void key(std::string_view Name);
+
+  void value(std::string_view Text);
+  void value(const char *Text) { value(std::string_view(Text)); }
+  void value(const std::string &Text) { value(std::string_view(Text)); }
+  void value(uint64_t Number);
+  void value(int64_t Number);
+  void value(uint32_t Number) { value(static_cast<uint64_t>(Number)); }
+  void value(int Number) { value(static_cast<int64_t>(Number)); }
+  void value(bool Flag);
+  /// Non-finite values are emitted as null (see file comment).
+  void value(double Number);
+  void null();
+
+  /// JSON-escapes \p Text (quotes, backslashes, control characters).
+  static std::string escape(std::string_view Text);
+
+private:
+  /// Emits the separating comma/nothing due before the next element and
+  /// marks the enclosing container non-empty.
+  void prefix();
+
+  struct Scope {
+    bool IsObject;
+    bool HasElements = false;
+  };
+  std::ostream &Out;
+  std::vector<Scope> Stack;
+  bool PendingKey = false;
+};
+
+} // namespace intro
+
+#endif // SUPPORT_JSON_H

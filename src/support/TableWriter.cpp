@@ -21,6 +21,12 @@ void TableWriter::addRow(std::vector<std::string> Cells) {
 }
 
 void TableWriter::print(std::ostream &Out) const {
+  // Zero columns would render as a lone "|" with a lone "|" underneath;
+  // emit a stable placeholder instead of degenerate alignment output.
+  if (Headers.empty()) {
+    Out << "(empty table)\n";
+    return;
+  }
   std::vector<size_t> Widths(Headers.size());
   for (size_t Col = 0; Col < Headers.size(); ++Col)
     Widths[Col] = Headers[Col].size();

@@ -29,7 +29,9 @@ public:
   /// Appends one row; must have as many cells as there are headers.
   void addRow(std::vector<std::string> Cells);
 
-  /// Renders the table (headers, separator, rows) to \p Out.
+  /// Renders the table (headers, separator, rows) to \p Out.  A table with
+  /// no rows prints just the header and separator; a table with no columns
+  /// prints a stable "(empty table)" placeholder.
   void print(std::ostream &Out) const;
 
   /// Formats \p Value with \p Decimals fraction digits.

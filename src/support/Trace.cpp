@@ -1,0 +1,280 @@
+//===- support/Trace.cpp - Structured solver tracing ----------------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+using namespace intro;
+using namespace intro::trace;
+
+namespace {
+
+/// The single active recorder (nullptr = tracing off).  Relaxed is enough:
+/// install/uninstall happen on the controlling thread before worker threads
+/// are launched / after they are joined, which provides the ordering.
+std::atomic<Recorder *> ActiveRecorder{nullptr};
+
+/// Bumped on every Recorder::start() so per-thread log caches from an
+/// earlier (possibly destroyed) recorder can never be mistaken for current.
+std::atomic<uint64_t> InstallGeneration{0};
+
+/// Per-thread cache of the registered log, keyed by install generation.
+struct LocalCache {
+  uint64_t Generation = 0;
+  void *Log = nullptr;
+};
+thread_local LocalCache Cache;
+
+} // namespace
+
+Recorder *intro::trace::active() {
+  return ActiveRecorder.load(std::memory_order_relaxed);
+}
+
+Recorder::Recorder() = default;
+
+Recorder::~Recorder() { stop(); }
+
+void Recorder::start() {
+  assert(ActiveRecorder.load(std::memory_order_relaxed) == nullptr &&
+         "another recorder is already active");
+  Stopped = false;
+  StartNs = nowNs();
+  Generation = InstallGeneration.fetch_add(1, std::memory_order_relaxed) + 1;
+  ActiveRecorder.store(this, std::memory_order_release);
+}
+
+void Recorder::stop() {
+  Recorder *Expected = this;
+  ActiveRecorder.compare_exchange_strong(Expected, nullptr,
+                                         std::memory_order_acq_rel);
+  if (Stopped)
+    return;
+  Stopped = true;
+  mergeLogs();
+}
+
+uint64_t Recorder::nowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Timer::Clock::now().time_since_epoch())
+          .count());
+}
+
+Recorder::ThreadLog &Recorder::localLog() {
+  if (Cache.Generation == Generation && Cache.Log)
+    return *static_cast<ThreadLog *>(Cache.Log);
+  std::lock_guard<std::mutex> Lock(LogMutex);
+  Logs.push_back(std::make_unique<ThreadLog>());
+  Logs.back()->Tid = static_cast<uint32_t>(Logs.size());
+  Cache.Generation = Generation;
+  Cache.Log = Logs.back().get();
+  return *Logs.back();
+}
+
+void Recorder::append(Event::Kind K, const char *Name, uint64_t Value) {
+  if (Stopped)
+    return; // A span straddling stop() closes into the void.
+  localLog().Events.push_back({K, Name, nowNs() - StartNs, Value});
+}
+
+void Recorder::counterAdd(const char *Name, uint64_t Delta) {
+  if (Stopped)
+    return;
+  auto &Cells = localLog().Counters;
+  // Linear scan: the instrumentation uses a handful of distinct names, and
+  // literal pointers make the common hit a pointer compare.
+  for (auto &[CellName, CellValue] : Cells) {
+    if (CellName == Name) {
+      CellValue += Delta;
+      return;
+    }
+  }
+  Cells.push_back({Name, Delta});
+}
+
+void Recorder::mergeLogs() {
+  std::lock_guard<std::mutex> Lock(LogMutex);
+  Merged.clear();
+  MergedCounters.clear();
+  SpanSummaries.clear();
+  InstantSummaries.clear();
+
+  for (const auto &Log : Logs) {
+    // Events keep their recording thread's order; span pairing is LIFO
+    // within the thread that produced them.
+    std::vector<std::pair<const char *, uint64_t>> OpenSpans;
+    for (const Event &E : Log->Events) {
+      Merged.push_back(E);
+      switch (E.K) {
+      case Event::Kind::Begin:
+        OpenSpans.push_back({E.Name, E.TimeNs});
+        break;
+      case Event::Kind::End:
+        if (!OpenSpans.empty() && OpenSpans.back().first == E.Name) {
+          NameSummary &S = SpanSummaries[E.Name];
+          ++S.Count;
+          S.TotalNs += E.TimeNs - OpenSpans.back().second;
+          OpenSpans.pop_back();
+        }
+        break;
+      case Event::Kind::Instant: {
+        NameSummary &S = InstantSummaries[E.Name];
+        ++S.Count;
+        S.Sum += E.Value;
+        break;
+      }
+      case Event::Kind::Counter:
+        break; // Counters travel through the cell table below.
+      }
+    }
+    for (const auto &[Name, Value] : Log->Counters)
+      MergedCounters[Name] += Value;
+  }
+}
+
+const std::vector<Event> &Recorder::events() {
+  stop();
+  return Merged;
+}
+
+const std::map<std::string, uint64_t> &Recorder::counters() {
+  stop();
+  return MergedCounters;
+}
+
+const std::map<std::string, NameSummary> &Recorder::spans() {
+  stop();
+  return SpanSummaries;
+}
+
+const std::map<std::string, NameSummary> &Recorder::instants() {
+  stop();
+  return InstantSummaries;
+}
+
+void Recorder::writeChromeTrace(std::ostream &Out) {
+  stop();
+  JsonWriter J(Out);
+  J.beginObject();
+  J.key("displayTimeUnit");
+  J.value("ms");
+  J.key("traceEvents");
+  J.beginArray();
+
+  uint64_t LastTs = 0;
+  {
+    std::lock_guard<std::mutex> Lock(LogMutex);
+    for (const auto &Log : Logs) {
+      for (const Event &E : Log->Events) {
+        LastTs = std::max(LastTs, E.TimeNs);
+        J.beginObject();
+        J.key("name");
+        J.value(E.Name);
+        J.key("ph");
+        switch (E.K) {
+        case Event::Kind::Begin:
+          J.value("B");
+          break;
+        case Event::Kind::End:
+          J.value("E");
+          break;
+        case Event::Kind::Instant:
+          J.value("i");
+          J.key("s");
+          J.value("t");
+          break;
+        case Event::Kind::Counter:
+          J.value("C");
+          break;
+        }
+        J.key("pid");
+        J.value(uint64_t(1));
+        J.key("tid");
+        J.value(uint64_t(Log->Tid));
+        J.key("ts");
+        J.value(static_cast<double>(E.TimeNs) / 1000.0);
+        if (E.K == Event::Kind::Instant) {
+          J.key("args");
+          J.beginObject();
+          J.key("value");
+          J.value(E.Value);
+          J.endObject();
+        }
+        J.endObject();
+      }
+    }
+  }
+  // One final counter sample per merged counter so the totals show up as
+  // counter tracks in the viewer.
+  for (const auto &[Name, Value] : MergedCounters) {
+    J.beginObject();
+    J.key("name");
+    J.value(Name);
+    J.key("ph");
+    J.value("C");
+    J.key("pid");
+    J.value(uint64_t(1));
+    J.key("tid");
+    J.value(uint64_t(1));
+    J.key("ts");
+    J.value(static_cast<double>(LastTs) / 1000.0);
+    J.key("args");
+    J.beginObject();
+    J.key("value");
+    J.value(Value);
+    J.endObject();
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+  Out << '\n';
+}
+
+void Recorder::writeDeterministicSummary(JsonWriter &J) {
+  stop();
+  J.beginObject();
+  J.key("counters");
+  J.beginObject();
+  for (const auto &[Name, Value] : MergedCounters) {
+    J.key(Name);
+    J.value(Value);
+  }
+  J.endObject();
+  // Spans: names and pair counts only — durations are timing-dependent and
+  // live in the Chrome export / the report's timing sections instead.
+  J.key("spans");
+  J.beginArray();
+  for (const auto &[Name, Summary] : SpanSummaries) {
+    J.beginObject();
+    J.key("name");
+    J.value(Name);
+    J.key("count");
+    J.value(Summary.Count);
+    J.endObject();
+  }
+  J.endArray();
+  J.key("instants");
+  J.beginArray();
+  for (const auto &[Name, Summary] : InstantSummaries) {
+    J.beginObject();
+    J.key("name");
+    J.value(Name);
+    J.key("count");
+    J.value(Summary.Count);
+    J.key("sum");
+    J.value(Summary.Sum);
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+}
