@@ -16,15 +16,19 @@
 
 #include "analysis/ContextPolicy.h"
 #include "analysis/PrecisionMetrics.h"
+#include "analysis/Reports.h"
 #include "analysis/Solver.h"
 #include "introspect/Driver.h"
 #include "ir/Program.h"
+#include "support/ExitCodes.h"
 #include "support/Json.h"
+#include "support/Subprocess.h"
 #include "support/TableWriter.h"
 #include "support/Trace.h"
 #include "workload/DaCapo.h"
 
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -133,6 +137,141 @@ inline std::string precCell(const RunOutcome &Outcome, uint64_t Value) {
   if (!Outcome.Completed)
     return "-";
   return TableWriter::num(Value);
+}
+
+/// One RunOutcome as a JSON object — the wire format a supervised cell's
+/// child uses to hand its result back over the pipe.
+inline void writeRunOutcomeJson(JsonWriter &J, const RunOutcome &Outcome) {
+  J.beginObject();
+  J.key("analysis");
+  J.value(Outcome.Analysis);
+  J.key("status");
+  J.value(Outcome.Status);
+  J.key("completed");
+  J.value(Outcome.Completed);
+  J.key("seconds");
+  J.value(Outcome.Seconds);
+  J.key("tuples");
+  J.value(Outcome.Tuples);
+  J.key("precision");
+  J.beginObject();
+  J.key("poly_virtual_call_sites");
+  J.value(Outcome.Precision.PolymorphicVirtualCallSites);
+  J.key("reachable_methods");
+  J.value(Outcome.Precision.ReachableMethods);
+  J.key("casts_that_may_fail");
+  J.value(Outcome.Precision.CastsThatMayFail);
+  J.key("reachable_virtual_call_sites");
+  J.value(Outcome.Precision.ReachableVirtualCallSites);
+  J.key("reachable_casts");
+  J.value(Outcome.Precision.ReachableCasts);
+  J.endObject();
+  J.key("stats");
+  writeSolverStatsJson(J, Outcome.Stats);
+  J.endObject();
+}
+
+/// Inverse of writeRunOutcomeJson.  \returns false when \p Value is not an
+/// object (missing members keep their defaults, as in the other report
+/// decoders).
+inline bool parseRunOutcomeJson(const JsonValue &Value, RunOutcome &Outcome) {
+  if (!Value.isObject())
+    return false;
+  Value.getString("analysis", Outcome.Analysis);
+  Value.getString("status", Outcome.Status);
+  Value.getBool("completed", Outcome.Completed);
+  Value.getDouble("seconds", Outcome.Seconds);
+  Value.getUint("tuples", Outcome.Tuples);
+  if (const JsonValue *Precision = Value.get("precision")) {
+    Precision->getUint("poly_virtual_call_sites",
+                       Outcome.Precision.PolymorphicVirtualCallSites);
+    Precision->getUint("reachable_methods",
+                       Outcome.Precision.ReachableMethods);
+    Precision->getUint("casts_that_may_fail",
+                       Outcome.Precision.CastsThatMayFail);
+    Precision->getUint("reachable_virtual_call_sites",
+                       Outcome.Precision.ReachableVirtualCallSites);
+    Precision->getUint("reachable_casts", Outcome.Precision.ReachableCasts);
+  }
+  if (const JsonValue *Stats = Value.get("stats"))
+    parseSolverStatsJson(*Stats, Outcome.Stats);
+  return true;
+}
+
+/// Runs one sweep cell inside a forked, watchdog-guarded child
+/// (`--supervised`): a cell that segfaults or hangs becomes a labelled DNF
+/// row instead of taking the whole harness down.  The child returns its
+/// RunOutcome as one JSON line over the pipe.
+inline RunOutcome runSupervisedCell(const std::function<RunOutcome()> &Cell) {
+  ChildLimits Limits;
+  // Comfortably above the deep budget's wall limit: the watchdog is a
+  // backstop for cells that escape the cooperative budget, not a second,
+  // tighter timeout.
+  Limits.WallDeadlineSeconds = deepBudget().MaxSeconds * 2;
+  ChildResult Child =
+      runSupervisedChild(Limits, [&Cell](std::ostream &Report) {
+        RunOutcome Out = Cell();
+        JsonWriter J(Report);
+        writeRunOutcomeJson(J, Out);
+        Report << '\n';
+        return 0;
+      });
+  RunOutcome Outcome;
+  if (Child.Status == ChildStatus::CleanExit) {
+    JsonParseResult Parsed = parseJson(Child.Output);
+    if (Parsed.ok() && parseRunOutcomeJson(Parsed.Value, Outcome))
+      return Outcome;
+  }
+  // The child died (or garbled its report): render the cell as DNF,
+  // labelled with the process-level fate instead of a SolveStatus.
+  Outcome.Analysis = "?";
+  Outcome.Status = childStatusName(Child.Status);
+  Outcome.Completed = false;
+  Outcome.Seconds = Child.Seconds;
+  return Outcome;
+}
+
+/// \returns true if `--supervised` is on the command line.
+inline bool supervisedFlag(int argc, char **argv) {
+  for (int Index = 1; Index < argc; ++Index)
+    if (std::string(argv[Index]) == "--supervised")
+      return true;
+  return false;
+}
+
+/// Strict command-line validation for the fig harnesses: every argument
+/// must be a known, well-formed flag.  \returns -1 to continue, or the
+/// exit code to bail with (ExitBadInput plus a diagnostic on stderr) —
+/// unknown flags must not be silently ignored, or a typo like
+/// `--worker=8` silently benchmarks with the wrong configuration.
+inline int checkFigArgs(int argc, char **argv) {
+  for (int Index = 1; Index < argc; ++Index) {
+    std::string Arg = argv[Index];
+    if (Arg == "--supervised")
+      continue;
+    if (Arg.compare(0, 10, "--workers=") == 0) {
+      std::string Value = Arg.substr(10);
+      if (Value.empty() ||
+          Value.find_first_not_of("0123456789") != std::string::npos ||
+          Value == "0") {
+        std::cerr << "error: bad --workers value '" << Value
+                  << "' (expected a positive integer)\n";
+        return ExitBadInput;
+      }
+      continue;
+    }
+    if (Arg.compare(0, 8, "--trace=") == 0) {
+      if (Arg.size() == 8) {
+        std::cerr << "error: --trace needs a file path\n";
+        return ExitBadInput;
+      }
+      continue;
+    }
+    std::cerr << "error: unknown argument '" << Arg
+              << "' (known: --workers=N, --trace=FILE, --supervised)\n";
+    return ExitBadInput;
+  }
+  return -1;
 }
 
 /// Extracts the `--trace=FILE` flag from the command line; empty string if

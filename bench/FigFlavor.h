@@ -36,13 +36,17 @@ namespace intro::bench {
 /// TraceSession).
 inline int runFlavorFigure(Flavor F, const char *FigureName,
                            const char *ExpectedShape, unsigned Workers,
-                           std::string TracePath = std::string()) {
+                           std::string TracePath = std::string(),
+                           bool Supervised = false) {
   TraceSession Trace(std::move(TracePath));
   std::cout << FigureName << ": performance and precision for introspective "
             << flavorName(F) << " variants\n"
             << "(DNF = resource budget exceeded; precision cells of DNF "
                "runs are '-'; sweep: "
-            << Workers << (Workers == 1 ? " worker)" : " workers)") << "\n\n";
+            << Workers << (Workers == 1 ? " worker" : " workers")
+            << (Supervised ? "; supervised: one child process per cell)"
+                           : ")")
+            << "\n\n";
 
   TableWriter Times({"benchmark", "insens", std::string(flavorName(F)) +
                                                 "-IntroA",
@@ -60,23 +64,28 @@ inline int runFlavorFigure(Flavor F, const char *FigureName,
 
   // Cell layout: 4 analyses per subject, insens / IntroA / IntroB / deep.
   constexpr size_t CellsPerSubject = 4;
+  auto RunCell = [&](size_t Index) {
+    const Program &Prog = Programs[Index / CellsPerSubject];
+    switch (Index % CellsPerSubject) {
+    case 0: {
+      auto Insens = makeInsensitivePolicy();
+      return runPlain(Prog, *Insens);
+    }
+    case 1:
+      return runIntro(Prog, F, HeuristicKind::A);
+    case 2:
+      return runIntro(Prog, F, HeuristicKind::B);
+    default: {
+      auto Full = makeFlavor(F, Prog);
+      return runPlain(Prog, *Full);
+    }
+    }
+  };
   std::vector<RunOutcome> Cells = runSweep(
       Subjects.size() * CellsPerSubject, Workers, [&](size_t Index) {
-        const Program &Prog = Programs[Index / CellsPerSubject];
-        switch (Index % CellsPerSubject) {
-        case 0: {
-          auto Insens = makeInsensitivePolicy();
-          return runPlain(Prog, *Insens);
-        }
-        case 1:
-          return runIntro(Prog, F, HeuristicKind::A);
-        case 2:
-          return runIntro(Prog, F, HeuristicKind::B);
-        default: {
-          auto Full = makeFlavor(F, Prog);
-          return runPlain(Prog, *Full);
-        }
-        }
+        if (Supervised)
+          return runSupervisedCell([&] { return RunCell(Index); });
+        return RunCell(Index);
       });
 
   for (size_t Subject = 0; Subject < Subjects.size(); ++Subject) {

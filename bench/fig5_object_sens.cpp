@@ -6,7 +6,14 @@
 
 #include "FigFlavor.h"
 
-int main(int argc, char **argv) {
+#include "support/ExitCodes.h"
+
+#include <exception>
+#include <iostream>
+
+int main(int argc, char **argv) try {
+  if (int Code = intro::bench::checkFigArgs(argc, argv); Code >= 0)
+    return Code;
   return intro::bench::runFlavorFigure(
       intro::bench::Flavor::Object, "Figure 5",
       "2objH blows up on hsqldb and jython (and is the slow outlier on\n"
@@ -14,5 +21,12 @@ int main(int argc, char **argv) {
       "gains over insens; IntroB scales to all but jython while keeping\n"
       "most of 2objH's precision.",
       intro::bench::sweepWorkers(argc, argv),
-      intro::bench::traceFile(argc, argv));
+      intro::bench::traceFile(argc, argv),
+      intro::bench::supervisedFlag(argc, argv));
+} catch (const std::exception &Error) {
+  std::cerr << "internal error: " << Error.what() << "\n";
+  return intro::ExitInternalError;
+} catch (...) {
+  std::cerr << "internal error: unknown exception\n";
+  return intro::ExitInternalError;
 }

@@ -6,12 +6,26 @@
 
 #include "FigFlavor.h"
 
-int main(int argc, char **argv) {
+#include "support/ExitCodes.h"
+
+#include <exception>
+#include <iostream>
+
+int main(int argc, char **argv) try {
+  if (int Code = intro::bench::checkFigArgs(argc, argv); Code >= 0)
+    return Code;
   return intro::bench::runFlavorFigure(
       intro::bench::Flavor::CallSite, "Figure 7",
       "base 2callH does not terminate on 4 of 6 benchmarks; IntroA\n"
       "terminates on all, IntroB on all but jython; where 2callH\n"
       "completes, IntroB matches its full precision on every metric.",
       intro::bench::sweepWorkers(argc, argv),
-      intro::bench::traceFile(argc, argv));
+      intro::bench::traceFile(argc, argv),
+      intro::bench::supervisedFlag(argc, argv));
+} catch (const std::exception &Error) {
+  std::cerr << "internal error: " << Error.what() << "\n";
+  return intro::ExitInternalError;
+} catch (...) {
+  std::cerr << "internal error: unknown exception\n";
+  return intro::ExitInternalError;
 }

@@ -119,3 +119,23 @@ void intro::writeSolverStatsJson(JsonWriter &J, const SolverStats &Stats) {
   J.value(Stats.ApproxBytes);
   J.endObject();
 }
+
+bool intro::parseSolverStatsJson(const JsonValue &Value, SolverStats &Stats) {
+  if (!Value.isObject())
+    return false;
+  Value.getDouble("seconds", Stats.Seconds);
+  Value.getUint("var_points_to_tuples", Stats.VarPointsToTuples);
+  Value.getUint("field_points_to_tuples", Stats.FieldPointsToTuples);
+  Value.getUint("throw_points_to_tuples", Stats.ThrowPointsToTuples);
+  Value.getUint("static_field_tuples", Stats.StaticFieldTuples);
+  Value.getUint("var_nodes", Stats.NumVarNodes);
+  Value.getUint("field_nodes", Stats.NumFieldNodes);
+  Value.getUint("objects", Stats.NumObjects);
+  Value.getUint("contexts", Stats.NumContexts);
+  Value.getUint("heap_contexts", Stats.NumHeapContexts);
+  Value.getUint("reachable_method_contexts", Stats.ReachableMethodContexts);
+  Value.getUint("call_graph_edges", Stats.CallGraphEdges);
+  Value.getUint("worklist_pops", Stats.WorklistPops);
+  Value.getUint("approx_bytes", Stats.ApproxBytes);
+  return true;
+}

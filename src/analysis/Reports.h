@@ -18,6 +18,7 @@
 
 namespace intro {
 
+class JsonValue;
 class JsonWriter;
 class PointsToResult;
 class Program;
@@ -38,6 +39,12 @@ void writePointsToReport(const Program &Prog, const PointsToResult &Result,
 /// deterministic for a deterministic solve.  Used by the machine-readable
 /// run reports (`--trace=FILE`).
 void writeSolverStatsJson(JsonWriter &J, const SolverStats &Stats);
+
+/// Inverse of writeSolverStatsJson: decodes a stats object parsed from a
+/// run report back into \p Stats.  Missing members keep their zero default
+/// (a report truncated by a dying child still yields its decodable prefix);
+/// \returns false only when \p Value is not an object.
+bool parseSolverStatsJson(const JsonValue &Value, SolverStats &Stats);
 
 } // namespace intro
 

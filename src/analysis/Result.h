@@ -20,6 +20,7 @@
 
 #include <array>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -54,6 +55,21 @@ inline const char *statusName(SolveStatus Status) {
     return "Cancelled";
   }
   return "?";
+}
+
+/// Inverse of statusName: \returns true and stores into \p Status when
+/// \p Name matches a status name exactly.  Used when decoding reports.
+inline bool statusFromName(std::string_view Name, SolveStatus &Status) {
+  static constexpr SolveStatus All[] = {
+      SolveStatus::Completed, SolveStatus::TupleBudgetExceeded,
+      SolveStatus::TimeBudgetExceeded, SolveStatus::MemoryBudgetExceeded,
+      SolveStatus::Cancelled};
+  for (SolveStatus Candidate : All)
+    if (Name == statusName(Candidate)) {
+      Status = Candidate;
+      return true;
+    }
+  return false;
 }
 
 /// Resource budget for a solver run.  Exceeding any limit aborts the run

@@ -38,6 +38,20 @@ const char *intro::degradationLevelName(DegradationLevel Level) {
   return "?";
 }
 
+bool intro::degradationLevelFromName(std::string_view Name,
+                                     DegradationLevel &Level) {
+  static constexpr DegradationLevel All[] = {
+      DegradationLevel::Deep, DegradationLevel::IntroB,
+      DegradationLevel::IntroA, DegradationLevel::TightenedIntroA,
+      DegradationLevel::Insensitive};
+  for (DegradationLevel Candidate : All)
+    if (Name == degradationLevelName(Candidate)) {
+      Level = Candidate;
+      return true;
+    }
+  return false;
+}
+
 std::string intro::formatAttemptTrace(const AttemptTrace &Trace) {
   if (Trace.empty())
     return "(no attempts)\n";
@@ -175,6 +189,8 @@ private:
     SolverOpts.Cancel = Options.Cancel;
     SolverOpts.CancelInterval = Options.CancelInterval;
     SolverOpts.Faults = Options.faultsFor(Level);
+    if (Options.OnRungStart)
+      Options.OnRungStart(Level, Round);
     trace::ScopedSpan RungSpan(rungSpanName(Level));
     Timer Clock;
     PointsToResult R = solvePointsTo(Prog, Policy, Table, SolverOpts);
@@ -595,6 +611,196 @@ void intro::writeResilientOutcomeJson(JsonWriter &J,
     writeAttemptJson(J, Outcome.Trace[Index], Index, Index == WinnerIndex);
   J.endArray();
   J.endObject();
+}
+
+namespace {
+
+/// One SolveBudget as a JSON object.
+void writeBudgetJson(JsonWriter &J, const SolveBudget &Budget) {
+  J.beginObject();
+  J.key("max_tuples");
+  J.value(Budget.MaxTuples);
+  J.key("max_seconds");
+  J.value(Budget.MaxSeconds);
+  J.key("max_bytes");
+  J.value(Budget.MaxBytes);
+  J.endObject();
+}
+
+void parseBudgetJson(const JsonValue *Value, SolveBudget &Budget) {
+  if (!Value || !Value->isObject())
+    return;
+  Value->getUint("max_tuples", Budget.MaxTuples);
+  Value->getDouble("max_seconds", Budget.MaxSeconds);
+  Value->getUint("max_bytes", Budget.MaxBytes);
+}
+
+} // namespace
+
+void intro::writeResilientOptionsJson(JsonWriter &J,
+                                      const ResilientOptions &Options) {
+  J.beginObject();
+  J.key("deep_budget");
+  writeBudgetJson(J, Options.DeepBudget);
+  J.key("refined_budget");
+  writeBudgetJson(J, Options.RefinedBudget);
+  J.key("first_pass_budget");
+  writeBudgetJson(J, Options.FirstPassBudget);
+  J.key("attempt_deep");
+  J.value(Options.AttemptDeep);
+  J.key("attempt_intro_b");
+  J.value(Options.AttemptIntroB);
+  J.key("attempt_intro_a");
+  J.value(Options.AttemptIntroA);
+  J.key("tightened_rounds");
+  J.value(Options.TightenedRounds);
+  J.key("backoff_multiplier");
+  J.value(Options.BackoffMultiplier);
+  J.key("params_a");
+  J.beginObject();
+  J.key("k");
+  J.value(Options.ParamsA.K);
+  J.key("l");
+  J.value(Options.ParamsA.L);
+  J.key("m");
+  J.value(Options.ParamsA.M);
+  J.endObject();
+  J.key("params_b");
+  J.beginObject();
+  J.key("p");
+  J.value(Options.ParamsB.P);
+  J.key("q");
+  J.value(Options.ParamsB.Q);
+  J.endObject();
+  J.key("cancel_interval");
+  J.value(Options.CancelInterval);
+  J.key("portfolio");
+  J.value(Options.Portfolio);
+  J.key("workers");
+  J.value(static_cast<uint64_t>(Options.Workers));
+  // Fault plans travel too: a supervisor relaunching a job must reproduce
+  // the exact injected behaviour in the replacement child (tests depend on
+  // it).  Only armed plans are written, keyed by level name.
+  J.key("level_faults");
+  J.beginArray();
+  for (size_t Index = 0; Index < NumDegradationLevels; ++Index) {
+    const FaultPlan &Plan = Options.LevelFaults[Index];
+    if (!Plan.armed())
+      continue;
+    J.beginObject();
+    J.key("level");
+    J.value(degradationLevelName(static_cast<DegradationLevel>(Index)));
+    J.key("fail_at_pop");
+    J.value(Plan.FailAtPop);
+    J.key("fail_status");
+    J.value(statusName(Plan.FailStatus));
+    J.key("tuple_inflation");
+    J.value(Plan.TupleInflation);
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+}
+
+bool intro::parseResilientOptionsJson(const JsonValue &Value,
+                                      ResilientOptions &Options,
+                                      std::string &Error) {
+  if (!Value.isObject()) {
+    Error = "resilient options: expected an object";
+    return false;
+  }
+  parseBudgetJson(Value.get("deep_budget"), Options.DeepBudget);
+  parseBudgetJson(Value.get("refined_budget"), Options.RefinedBudget);
+  parseBudgetJson(Value.get("first_pass_budget"), Options.FirstPassBudget);
+  Value.getBool("attempt_deep", Options.AttemptDeep);
+  Value.getBool("attempt_intro_b", Options.AttemptIntroB);
+  Value.getBool("attempt_intro_a", Options.AttemptIntroA);
+  uint64_t Rounds = Options.TightenedRounds;
+  if (Value.getUint("tightened_rounds", Rounds))
+    Options.TightenedRounds = static_cast<uint32_t>(Rounds);
+  Value.getDouble("backoff_multiplier", Options.BackoffMultiplier);
+  if (const JsonValue *A = Value.get("params_a")) {
+    A->getUint("k", Options.ParamsA.K);
+    A->getUint("l", Options.ParamsA.L);
+    A->getUint("m", Options.ParamsA.M);
+  }
+  if (const JsonValue *B = Value.get("params_b")) {
+    B->getUint("p", Options.ParamsB.P);
+    B->getUint("q", Options.ParamsB.Q);
+  }
+  uint64_t Interval = Options.CancelInterval;
+  if (Value.getUint("cancel_interval", Interval))
+    Options.CancelInterval = static_cast<uint32_t>(Interval);
+  Value.getBool("portfolio", Options.Portfolio);
+  uint64_t Workers = Options.Workers;
+  if (Value.getUint("workers", Workers))
+    Options.Workers = static_cast<unsigned>(Workers);
+  if (const JsonValue *Faults = Value.get("level_faults")) {
+    if (!Faults->isArray()) {
+      Error = "resilient options: level_faults must be an array";
+      return false;
+    }
+    for (const JsonValue &Entry : Faults->elements()) {
+      std::string LevelName;
+      DegradationLevel Level;
+      if (!Entry.getString("level", LevelName) ||
+          !degradationLevelFromName(LevelName, Level)) {
+        Error = "resilient options: bad fault level '" + LevelName + "'";
+        return false;
+      }
+      FaultPlan &Plan = Options.faultsFor(Level);
+      Entry.getUint("fail_at_pop", Plan.FailAtPop);
+      std::string StatusText;
+      if (Entry.getString("fail_status", StatusText) &&
+          !statusFromName(StatusText, Plan.FailStatus)) {
+        Error = "resilient options: bad fault status '" + StatusText + "'";
+        return false;
+      }
+      Entry.getUint("tuple_inflation", Plan.TupleInflation);
+    }
+  }
+  return true;
+}
+
+bool intro::parseAttemptTraceJson(const JsonValue &Value, AttemptTrace &Trace,
+                                  std::string &Error) {
+  if (!Value.isArray()) {
+    Error = "attempt trace: expected an array";
+    return false;
+  }
+  for (size_t Index = 0; Index < Value.elements().size(); ++Index) {
+    const JsonValue &Entry = Value.elements()[Index];
+    std::string Position = "attempt " + std::to_string(Index + 1);
+    if (!Entry.isObject()) {
+      Error = Position + ": expected an object";
+      return false;
+    }
+    Attempt A;
+    std::string LevelName;
+    if (!Entry.getString("level", LevelName) ||
+        !degradationLevelFromName(LevelName, A.Level)) {
+      Error = Position + ": bad level '" + LevelName + "'";
+      return false;
+    }
+    std::string StatusText;
+    if (!Entry.getString("status", StatusText) ||
+        !statusFromName(StatusText, A.Status)) {
+      Error = Position + ": bad status '" + StatusText + "'";
+      return false;
+    }
+    Entry.getString("analysis", A.AnalysisName);
+    Entry.getDouble("seconds", A.Seconds);
+    uint64_t Round = 0;
+    if (Entry.getUint("tightened_round", Round))
+      A.TightenedRound = static_cast<uint32_t>(Round);
+    if (const JsonValue *Stats = Entry.get("stats"))
+      if (!parseSolverStatsJson(*Stats, A.Stats)) {
+        Error = Position + ": stats must be an object";
+        return false;
+      }
+    Trace.push_back(std::move(A));
+  }
+  return true;
 }
 
 ResilientOutcome intro::runResilient(const Program &Prog,

@@ -51,11 +51,14 @@
 #include "introspect/Driver.h"
 
 #include <array>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace intro {
 
+class JsonValue;
 class JsonWriter;
 
 /// The rungs of the degradation ladder, in descending analysis strength.
@@ -73,6 +76,10 @@ inline constexpr size_t NumDegradationLevels = 5;
 
 /// \returns a stable human-readable name for \p Level.
 const char *degradationLevelName(DegradationLevel Level);
+
+/// Inverse of degradationLevelName: \returns true and stores into \p Level
+/// when \p Name matches a level name exactly.  Used when decoding reports.
+bool degradationLevelFromName(std::string_view Name, DegradationLevel &Level);
 
 /// One solver attempt of a resilient run, completed or not.
 struct Attempt {
@@ -130,6 +137,17 @@ struct ResilientOptions {
   const CancellationToken *Cancel = nullptr;
   /// In-solver cancellation poll interval (SolverOptions::CancelInterval).
   uint32_t CancelInterval = 64;
+
+  /// Fired just before each rung's solver attempt starts (the rung level
+  /// and, for TightenedIntroA, the 1-based tightening round).  The
+  /// supervision layer uses this from a forked child to stream per-rung
+  /// progress over its report pipe, so a parent that sees the child die a
+  /// hard death (segfault, OOM kill, watchdog) knows the deepest rung that
+  /// *started* and can resume the ladder strictly below it.  Sequential
+  /// ladder only: portfolio mode launches rungs concurrently and does not
+  /// invoke the callback (supervised children always run sequentially).
+  std::function<void(DegradationLevel Level, uint32_t TightenedRound)>
+      OnRungStart;
 
   /// Race the rungs concurrently instead of walking them one by one.  The
   /// returned result, level, metrics, and exceptions are bit-identical to
@@ -208,6 +226,32 @@ void writeAttemptTraceJson(JsonWriter &J, const AttemptTrace &Trace);
 /// attempt carries a `"won"` flag (portfolio win/loss per rung; exactly one
 /// attempt wins unless nothing completed).
 void writeResilientOutcomeJson(JsonWriter &J, const ResilientOutcome &Outcome);
+
+/// Writes the *configuration* part of \p Options as one JSON object —
+/// budgets, rung toggles, tightening rounds and backoff, heuristic
+/// parameters, cancel interval, portfolio/worker knobs, and any armed fault
+/// plans.  Runtime-only members (Cancel, OnRungStart) are not represented;
+/// they cannot cross a process boundary.  Together with
+/// parseResilientOptionsJson this lets a supervisor ship a ladder
+/// configuration to a child process and relaunch a crashed job on a tighter
+/// rung of the *same* ladder.
+void writeResilientOptionsJson(JsonWriter &J, const ResilientOptions &Options);
+
+/// Inverse of writeResilientOptionsJson.  Unknown members are ignored
+/// (forward compatibility); missing members keep the field's default.
+/// \returns false and sets \p Error on a type mismatch or an invalid
+/// enumerator name.
+bool parseResilientOptionsJson(const JsonValue &Value,
+                               ResilientOptions &Options, std::string &Error);
+
+/// Inverse of writeAttemptTraceJson: decodes a JSON array of attempt
+/// objects (as embedded in `intro-run-report-v1` reports) back into an
+/// AttemptTrace, so the supervisor can splice a child's partial ladder
+/// history into the batch report.  The portfolio-only `"won"` member is
+/// accepted and ignored.  \returns false and sets \p Error on malformed
+/// input; \p Trace then holds the attempts decoded before the error.
+bool parseAttemptTraceJson(const JsonValue &Value, AttemptTrace &Trace,
+                           std::string &Error);
 
 /// Runs the degradation ladder on \p Prog with \p RefinedPolicy (e.g.
 /// 2objH) as the deep rung, returning the deepest analysis that completes

@@ -1,0 +1,649 @@
+//===- supervise/Supervise.cpp - Supervised batch analysis jobs -----------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "supervise/Supervise.h"
+
+#include "analysis/ContextPolicy.h"
+#include "analysis/Reports.h"
+#include "frontend/Parser.h"
+#include "ir/Validator.h"
+#include "support/ExitCodes.h"
+#include "support/Json.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
+
+#include <cmath>
+#include <csignal>
+#include <cstring>
+#include <future>
+#include <new>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace intro;
+using namespace intro::supervise;
+
+const char *intro::supervise::jobOutcomeClassName(JobOutcomeClass Class) {
+  switch (Class) {
+  case JobOutcomeClass::Clean:
+    return "clean";
+  case JobOutcomeClass::AnalysisFailure:
+    return "analysis_failure";
+  case JobOutcomeClass::BadInput:
+    return "bad_input";
+  case JobOutcomeClass::NonzeroExit:
+    return "nonzero_exit";
+  case JobOutcomeClass::Signalled:
+    return "signalled";
+  case JobOutcomeClass::OutOfMemory:
+    return "out_of_memory";
+  case JobOutcomeClass::WatchdogTimeout:
+    return "watchdog_timeout";
+  case JobOutcomeClass::BadReport:
+    return "bad_report";
+  }
+  return "?";
+}
+
+bool intro::supervise::isRetryable(JobOutcomeClass Class) {
+  switch (Class) {
+  case JobOutcomeClass::Clean:
+  case JobOutcomeClass::AnalysisFailure:
+  case JobOutcomeClass::BadInput:
+    return false;
+  case JobOutcomeClass::NonzeroExit:
+  case JobOutcomeClass::Signalled:
+  case JobOutcomeClass::OutOfMemory:
+  case JobOutcomeClass::WatchdogTimeout:
+  case JobOutcomeClass::BadReport:
+    return true;
+  }
+  return false;
+}
+
+double intro::supervise::plannedBackoffMs(const RetryPolicy &Policy,
+                                          size_t JobIndex, uint32_t Attempt) {
+  if (Attempt < 2)
+    return 0;
+  // One draw per (seed, job, attempt): the schedule of any attempt is
+  // reproducible in isolation, independent of how many draws other jobs
+  // made (a shared generator would couple the jobs' schedules).
+  Rng R(Policy.Seed + JobIndex * 0x9E3779B97F4A7C15ull + Attempt);
+  double Unit = static_cast<double>(R.next() >> 11) *
+                (1.0 / 9007199254740992.0); // 53-bit fraction in [0, 1).
+  double Delay =
+      Policy.BaseDelayMs *
+      std::pow(Policy.Multiplier, static_cast<double>(Attempt) - 2.0);
+  Delay *= 1.0 + Policy.JitterFraction * (2.0 * Unit - 1.0);
+  return Delay < 0 ? 0 : Delay;
+}
+
+void intro::supervise::escalateBelow(ResilientOptions &Options,
+                                     DegradationLevel Level) {
+  // Ladder execution order: Deep, Insensitive (pre-analysis), IntroB,
+  // IntroA, TightenedIntroA.  Dying *at* a rung disables that rung and
+  // every stronger one; dying in the pre-analysis leaves nothing to
+  // disable (it is both the gate and the floor).
+  switch (Level) {
+  case DegradationLevel::TightenedIntroA:
+    Options.TightenedRounds = 0;
+    [[fallthrough]];
+  case DegradationLevel::IntroA:
+    Options.AttemptIntroA = false;
+    [[fallthrough]];
+  case DegradationLevel::IntroB:
+    Options.AttemptIntroB = false;
+    [[fallthrough]];
+  case DegradationLevel::Deep:
+    Options.AttemptDeep = false;
+    break;
+  case DegradationLevel::Insensitive:
+    break;
+  }
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Child side: parse, run the ladder, stream progress + report.
+//===----------------------------------------------------------------------===//
+
+/// Burns address space until the RLIMIT_AS guard starves us.  Reservations
+/// only — the pages are never touched, so without a limit the loop ends at
+/// the pin-array bound and still reports OOM instead of harming the host.
+[[noreturn]] void starveMemory() {
+  constexpr size_t ChunkBytes = 64ull << 20;
+  constexpr size_t MaxChunks = 4096;
+  static void *volatile Pins[MaxChunks]; // volatile: the pins must stay.
+  size_t Count = 0;
+  while (Count < MaxChunks) {
+    void *Chunk = ::operator new(ChunkBytes, std::nothrow);
+    if (!Chunk)
+      break;
+    Pins[Count++] = Chunk;
+  }
+  (void)Pins[0];
+  throw std::bad_alloc();
+}
+
+/// Fires \p Chaos if it is armed for this rung and attempt.  The caller
+/// already emitted (and flushed) the rung_start progress line, so the
+/// parent knows where the body is buried.
+void maybeFireChaos(const ChaosPlan &Chaos, DegradationLevel Level,
+                    uint32_t Attempt) {
+  if (!Chaos.armed() || Level != Chaos.AtLevel || Attempt > Chaos.UntilAttempt)
+    return;
+  switch (Chaos.Fault) {
+  case ChaosPlan::Kind::Crash:
+    // Not a real SIGSEGV on purpose: sanitizer runtimes intercept SIGSEGV
+    // and exit through their own reporting path, which would change the
+    // classification per build flavor.  SIGKILL is uncatchable everywhere.
+    ::raise(SIGKILL);
+    break;
+  case ChaosPlan::Kind::Oom:
+    starveMemory();
+  case ChaosPlan::Kind::Spin:
+    for (;;)
+      ::usleep(50'000);
+  case ChaosPlan::Kind::ExitNonzero:
+    ::_exit(13);
+  case ChaosPlan::Kind::None:
+  case ChaosPlan::Kind::GarbageReport:
+  case ChaosPlan::Kind::TruncatedReport:
+    break;
+  }
+}
+
+/// Writes the child's final `intro-run-report-v1` line.  \p Outcome may be
+/// null (bad-input reports carry diagnostics instead).
+void writeChildReport(std::ostream &Report, const JobSpec &Job,
+                      uint32_t Attempt, const ResilientOptions &Ladder,
+                      const ResilientOutcome *Outcome,
+                      const std::vector<std::string> &InputErrors) {
+  JsonWriter J(Report);
+  J.beginObject();
+  J.key("schema");
+  J.value("intro-run-report-v1");
+  J.key("deterministic");
+  J.beginObject();
+  J.key("job");
+  J.value(Job.Name);
+  J.key("attempt");
+  J.value(Attempt);
+  J.key("options");
+  writeResilientOptionsJson(J, Ladder);
+  if (!InputErrors.empty()) {
+    J.key("input_errors");
+    J.beginArray();
+    for (const std::string &Error : InputErrors)
+      J.value(Error);
+    J.endArray();
+  }
+  if (Outcome) {
+    J.key("outcome");
+    writeResilientOutcomeJson(J, *Outcome);
+  }
+  J.endObject();
+  J.key("timing");
+  J.beginObject();
+  J.key("total_seconds");
+  J.value(Outcome ? Outcome->TotalSeconds : 0.0);
+  J.endObject();
+  J.endObject();
+  Report << '\n';
+  Report.flush();
+}
+
+/// The analysis payload run inside the forked child.  Parsing and
+/// validation happen here — the untrusted-input boundary stays inside the
+/// sandbox — then the sequential degradation ladder runs with per-rung
+/// progress streaming.
+int childAnalyze(const JobSpec &Job, const ResilientOptions &BaseLadder,
+                 uint32_t Attempt, std::ostream &Report) {
+  ParseResult Parsed = parseProgram(Job.Source);
+  std::vector<std::string> InputErrors = std::move(Parsed.Errors);
+  if (InputErrors.empty())
+    InputErrors = validateProgram(Parsed.Prog);
+  if (!InputErrors.empty()) {
+    writeChildReport(Report, Job, Attempt, BaseLadder, nullptr, InputErrors);
+    return ExitBadInput;
+  }
+
+  ResilientOptions Ladder = BaseLadder;
+  Ladder.OnRungStart = [&](DegradationLevel Level, uint32_t Round) {
+    JsonWriter J(Report);
+    J.beginObject();
+    J.key("event");
+    J.value("rung_start");
+    J.key("level");
+    J.value(degradationLevelName(Level));
+    J.key("round");
+    J.value(Round);
+    J.endObject();
+    Report << '\n';
+    Report.flush();
+    maybeFireChaos(Job.Chaos, Level, Attempt);
+  };
+
+  auto Deep = makeObjectPolicy(Parsed.Prog, 2, 1);
+  ResilientOutcome Outcome = runResilient(Parsed.Prog, *Deep, Ladder);
+
+  bool ReportChaos =
+      Job.Chaos.armed() && Attempt <= Job.Chaos.UntilAttempt &&
+      (Job.Chaos.Fault == ChaosPlan::Kind::GarbageReport ||
+       Job.Chaos.Fault == ChaosPlan::Kind::TruncatedReport);
+  if (ReportChaos) {
+    if (Job.Chaos.Fault == ChaosPlan::Kind::GarbageReport)
+      Report << "\x01\x02{{{not json\xff\xfe\n";
+    else
+      Report << "{\"schema\": \"intro-run-report-v1\", \"deterministic\": "
+                "{\"job\": \"";
+    Report.flush();
+    return ExitSuccess;
+  }
+
+  writeChildReport(Report, Job, Attempt, Ladder, &Outcome, {});
+  return Outcome.completed() ? ExitSuccess : ExitAnalysisFailure;
+}
+
+//===----------------------------------------------------------------------===//
+// Parent side: decode the pipe, classify, retry, quarantine.
+//===----------------------------------------------------------------------===//
+
+/// What the parent distilled from the child's pipe bytes.
+struct ChildTranscript {
+  bool AnyRungStarted = false;
+  DegradationLevel DeepestStartedRung = DegradationLevel::Deep;
+  uint32_t DeepestStartedRound = 0;
+  bool HasReport = false;
+  std::string ReportError; ///< Why no usable report (when !HasReport).
+  std::vector<std::string> InputErrors;
+  AttemptTrace Ladder;
+  std::string Level;
+  std::string Status;
+  bool Completed = false;
+};
+
+/// Decodes the JSONL transcript: rung_start progress events (emission
+/// order IS ladder execution order, so the last one seen is the deepest
+/// started) and at most one final report line (the line with a "schema"
+/// member).
+ChildTranscript decodeTranscript(const std::string &Output) {
+  ChildTranscript T;
+  T.ReportError = "no report line received";
+  size_t Begin = 0;
+  while (Begin <= Output.size()) {
+    size_t End = Output.find('\n', Begin);
+    size_t Stop = End == std::string::npos ? Output.size() : End;
+    std::string_view Line(Output.data() + Begin, Stop - Begin);
+    Begin = Stop + 1;
+    if (Line.empty())
+      continue;
+    JsonParseResult Parsed = parseJson(Line);
+    if (!Parsed.ok()) {
+      // A dying child's last line may be cut mid-token; remember why in
+      // case no healthy report line follows.
+      T.ReportError = "unparseable report line: " + Parsed.Error;
+      continue;
+    }
+    const JsonValue &Doc = Parsed.Value;
+    std::string Event;
+    if (Doc.getString("event", Event) && Event == "rung_start") {
+      std::string LevelName;
+      DegradationLevel Level;
+      if (Doc.getString("level", LevelName) &&
+          degradationLevelFromName(LevelName, Level)) {
+        T.AnyRungStarted = true;
+        T.DeepestStartedRung = Level;
+        uint64_t Round = 0;
+        Doc.getUint("round", Round);
+        T.DeepestStartedRound = static_cast<uint32_t>(Round);
+      }
+      continue;
+    }
+    std::string Schema;
+    if (!Doc.getString("schema", Schema))
+      continue;
+    if (Schema != "intro-run-report-v1") {
+      T.ReportError = "unexpected report schema '" + Schema + "'";
+      continue;
+    }
+    const JsonValue *Det = Doc.get("deterministic");
+    if (!Det || !Det->isObject()) {
+      T.ReportError = "report has no deterministic section";
+      continue;
+    }
+    if (const JsonValue *Errors = Det->get("input_errors");
+        Errors && Errors->isArray())
+      for (const JsonValue &Error : Errors->elements())
+        if (Error.isString())
+          T.InputErrors.push_back(Error.asString());
+    if (const JsonValue *Outcome = Det->get("outcome");
+        Outcome && Outcome->isObject()) {
+      Outcome->getString("level", T.Level);
+      Outcome->getString("status", T.Status);
+      Outcome->getBool("completed", T.Completed);
+      if (const JsonValue *Attempts = Outcome->get("attempts")) {
+        std::string TraceError;
+        if (!parseAttemptTraceJson(*Attempts, T.Ladder, TraceError)) {
+          T.ReportError = "bad attempt trace: " + TraceError;
+          T.Ladder.clear();
+          continue;
+        }
+      }
+    }
+    T.HasReport = true;
+    T.ReportError.clear();
+  }
+  return T;
+}
+
+/// Combines the process-level fate with the transcript into the taxonomy.
+JobOutcomeClass classifyAttempt(const ChildResult &Child,
+                                const ChildTranscript &Transcript) {
+  switch (Child.Status) {
+  case ChildStatus::WatchdogKill:
+    return JobOutcomeClass::WatchdogTimeout;
+  case ChildStatus::OutOfMemory:
+    return JobOutcomeClass::OutOfMemory;
+  case ChildStatus::Signalled:
+    // SIGXCPU is the kernel's CPU-time watchdog; same taxonomy bucket as
+    // the parent's wall-clock one.
+    return Child.TermSignal == SIGXCPU ? JobOutcomeClass::WatchdogTimeout
+                                       : JobOutcomeClass::Signalled;
+  case ChildStatus::NonzeroExit:
+    if (Child.ExitCode == ExitBadInput)
+      return JobOutcomeClass::BadInput;
+    if (Child.ExitCode == ExitAnalysisFailure)
+      return JobOutcomeClass::AnalysisFailure;
+    return JobOutcomeClass::NonzeroExit;
+  case ChildStatus::CleanExit:
+    // The child's contract: exit 0 if and only if a completed result with
+    // a healthy report.  Any inconsistency means the report channel is not
+    // trustworthy.
+    if (Transcript.HasReport && Transcript.Completed)
+      return JobOutcomeClass::Clean;
+    return JobOutcomeClass::BadReport;
+  }
+  return JobOutcomeClass::NonzeroExit;
+}
+
+/// Strips supervisor-owned members from the configured ladder: children
+/// are single-threaded after fork (no portfolio), and callbacks/tokens
+/// cannot cross the process boundary.
+ResilientOptions sanitizeLadder(const ResilientOptions &Ladder) {
+  ResilientOptions Clean = Ladder;
+  Clean.Portfolio = false;
+  Clean.Workers = 1;
+  Clean.Cancel = nullptr;
+  Clean.OnRungStart = nullptr;
+  return Clean;
+}
+
+} // namespace
+
+JobResult intro::supervise::runSupervisedJob(const JobSpec &Job,
+                                             size_t JobIndex,
+                                             const BatchOptions &Options) {
+  JobResult Result;
+  Result.Name = Job.Name;
+  ResilientOptions Ladder = sanitizeLadder(Options.Ladder);
+
+  for (uint32_t Attempt = 1;; ++Attempt) {
+    ChildResult Child = runSupervisedChild(
+        Options.Limits, [&Job, &Ladder, Attempt](std::ostream &Report) {
+          return childAnalyze(Job, Ladder, Attempt, Report);
+        });
+    ChildTranscript Transcript = decodeTranscript(Child.Output);
+
+    JobAttempt Record;
+    Record.Status = Child.Status;
+    Record.Class = classifyAttempt(Child, Transcript);
+    Record.ExitCode = Child.ExitCode;
+    Record.TermSignal = Child.TermSignal;
+    Record.AnyRungStarted = Transcript.AnyRungStarted;
+    Record.DeepestStartedRung = Transcript.DeepestStartedRung;
+    Record.DeepestStartedRound = Transcript.DeepestStartedRound;
+    Record.ReportError = Transcript.ReportError;
+    Record.Ladder = std::move(Transcript.Ladder);
+    Record.Seconds = Child.Seconds;
+
+    bool Retry = isRetryable(Record.Class) &&
+                 Attempt < Options.Retry.MaxAttempts;
+    if (Retry)
+      Record.PlannedDelayMs =
+          plannedBackoffMs(Options.Retry, JobIndex, Attempt + 1);
+    Result.Attempts.push_back(std::move(Record));
+    const JobAttempt &Last = Result.Attempts.back();
+
+    if (Last.Class == JobOutcomeClass::Clean) {
+      Result.FinalClass = JobOutcomeClass::Clean;
+      Result.ResultLevel = Transcript.Level;
+      Result.ResultStatus = Transcript.Status;
+      Result.ResultCompleted = Transcript.Completed;
+      return Result;
+    }
+    if (!Retry) {
+      TRACE_INSTANT("supervise.quarantine", 1);
+      Result.FinalClass = Last.Class;
+      Result.Quarantined = true;
+      Result.InputErrors = std::move(Transcript.InputErrors);
+      return Result;
+    }
+
+    // Plan the relaunch: back off (deterministically planned, injectable
+    // actual sleep), and after a hard mid-ladder death resume strictly
+    // below the rung that killed the child.
+    TRACE_SPAN("supervise.retry");
+    bool HardDeath = Last.Class == JobOutcomeClass::Signalled ||
+                     Last.Class == JobOutcomeClass::OutOfMemory ||
+                     Last.Class == JobOutcomeClass::WatchdogTimeout;
+    if (HardDeath && Last.AnyRungStarted)
+      escalateBelow(Ladder, Last.DeepestStartedRung);
+    if (Options.SleepMs)
+      Options.SleepMs(Last.PlannedDelayMs);
+    else if (Last.PlannedDelayMs > 0)
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          Last.PlannedDelayMs));
+  }
+}
+
+BatchResult
+intro::supervise::runSupervisedBatch(const std::vector<JobSpec> &Jobs,
+                                     const BatchOptions &Options) {
+  Timer Total;
+  BatchResult Batch;
+  Batch.Jobs.resize(Jobs.size());
+  unsigned Workers = std::max(1u, Options.Workers);
+  if (Workers <= 1 || Jobs.size() <= 1) {
+    for (size_t Index = 0; Index < Jobs.size(); ++Index)
+      Batch.Jobs[Index] = runSupervisedJob(Jobs[Index], Index, Options);
+  } else {
+    ThreadPool Pool(std::min<unsigned>(Workers, Jobs.size()));
+    std::vector<std::future<void>> Pending;
+    Pending.reserve(Jobs.size());
+    for (size_t Index = 0; Index < Jobs.size(); ++Index)
+      Pending.push_back(Pool.submit([&Jobs, &Batch, &Options, Index] {
+        Batch.Jobs[Index] = runSupervisedJob(Jobs[Index], Index, Options);
+      }));
+    for (std::future<void> &F : Pending)
+      F.get();
+  }
+  Batch.TotalSeconds = Total.seconds();
+  return Batch;
+}
+
+namespace {
+
+/// One attempt of the child ladder, deterministic columns only: the
+/// wall-clock members of Attempt/SolverStats stay out of the deterministic
+/// report section by construction.
+void writeDeterministicLadderJson(JsonWriter &J, const AttemptTrace &Trace) {
+  J.beginArray();
+  for (const Attempt &A : Trace) {
+    J.beginObject();
+    J.key("level");
+    J.value(degradationLevelName(A.Level));
+    J.key("tightened_round");
+    J.value(A.TightenedRound);
+    J.key("analysis");
+    J.value(A.AnalysisName);
+    J.key("status");
+    J.value(statusName(A.Status));
+    J.key("tuples");
+    J.value(A.Stats.VarPointsToTuples + A.Stats.FieldPointsToTuples);
+    J.key("worklist_pops");
+    J.value(A.Stats.WorklistPops);
+    J.endObject();
+  }
+  J.endArray();
+}
+
+} // namespace
+
+void intro::supervise::writeBatchReportJson(JsonWriter &J,
+                                            const BatchResult &Batch,
+                                            const BatchOptions &Options) {
+  size_t ClassCounts[8] = {};
+  uint64_t Retries = 0;
+  size_t Quarantined = 0;
+  for (const JobResult &Job : Batch.Jobs) {
+    ++ClassCounts[static_cast<size_t>(Job.FinalClass)];
+    Retries += Job.Attempts.empty() ? 0 : Job.Attempts.size() - 1;
+    Quarantined += Job.Quarantined ? 1 : 0;
+  }
+
+  J.beginObject();
+  J.key("schema");
+  J.value("intro-batch-report-v1");
+  J.key("deterministic");
+  J.beginObject();
+  J.key("retry_policy");
+  J.beginObject();
+  J.key("max_attempts");
+  J.value(Options.Retry.MaxAttempts);
+  J.key("base_delay_ms");
+  J.value(Options.Retry.BaseDelayMs);
+  J.key("multiplier");
+  J.value(Options.Retry.Multiplier);
+  J.key("jitter_fraction");
+  J.value(Options.Retry.JitterFraction);
+  J.key("seed");
+  J.value(Options.Retry.Seed);
+  J.endObject();
+  J.key("limits");
+  J.beginObject();
+  J.key("max_address_space_bytes");
+  J.value(Options.Limits.MaxAddressSpaceBytes);
+  J.key("max_cpu_seconds");
+  J.value(Options.Limits.MaxCpuSeconds);
+  J.key("wall_deadline_seconds");
+  J.value(Options.Limits.WallDeadlineSeconds);
+  J.endObject();
+  J.key("ladder_options");
+  writeResilientOptionsJson(J, Options.Ladder);
+  J.key("jobs");
+  J.beginArray();
+  for (size_t Index = 0; Index < Batch.Jobs.size(); ++Index) {
+    const JobResult &Job = Batch.Jobs[Index];
+    J.beginObject();
+    J.key("index");
+    J.value(static_cast<uint64_t>(Index + 1));
+    J.key("name");
+    J.value(Job.Name);
+    J.key("final_class");
+    J.value(jobOutcomeClassName(Job.FinalClass));
+    J.key("quarantined");
+    J.value(Job.Quarantined);
+    J.key("result");
+    if (Job.FinalClass == JobOutcomeClass::Clean) {
+      J.beginObject();
+      J.key("level");
+      J.value(Job.ResultLevel);
+      J.key("status");
+      J.value(Job.ResultStatus);
+      J.key("completed");
+      J.value(Job.ResultCompleted);
+      J.endObject();
+    } else {
+      J.null();
+    }
+    J.key("input_errors");
+    J.beginArray();
+    for (const std::string &Error : Job.InputErrors)
+      J.value(Error);
+    J.endArray();
+    J.key("attempts");
+    J.beginArray();
+    for (size_t AttemptIndex = 0; AttemptIndex < Job.Attempts.size();
+         ++AttemptIndex) {
+      const JobAttempt &A = Job.Attempts[AttemptIndex];
+      J.beginObject();
+      J.key("attempt");
+      J.value(static_cast<uint64_t>(AttemptIndex + 1));
+      J.key("child_status");
+      J.value(childStatusName(A.Status));
+      J.key("class");
+      J.value(jobOutcomeClassName(A.Class));
+      J.key("exit_code");
+      J.value(A.ExitCode);
+      J.key("term_signal");
+      J.value(A.TermSignal);
+      J.key("planned_delay_ms");
+      J.value(A.PlannedDelayMs);
+      J.key("deepest_started_rung");
+      if (A.AnyRungStarted)
+        J.value(degradationLevelName(A.DeepestStartedRung));
+      else
+        J.null();
+      J.key("report_error");
+      J.value(A.ReportError);
+      J.key("ladder");
+      writeDeterministicLadderJson(J, A.Ladder);
+      J.endObject();
+    }
+    J.endArray();
+    J.endObject();
+  }
+  J.endArray();
+  J.key("totals");
+  J.beginObject();
+  J.key("jobs");
+  J.value(static_cast<uint64_t>(Batch.Jobs.size()));
+  for (size_t Class = 0; Class < 8; ++Class) {
+    J.key(jobOutcomeClassName(static_cast<JobOutcomeClass>(Class)));
+    J.value(static_cast<uint64_t>(ClassCounts[Class]));
+  }
+  J.key("quarantined");
+  J.value(static_cast<uint64_t>(Quarantined));
+  J.key("retries");
+  J.value(Retries);
+  J.endObject();
+  J.endObject();
+  J.key("timing");
+  J.beginObject();
+  J.key("total_seconds");
+  J.value(Batch.TotalSeconds);
+  J.key("jobs");
+  J.beginArray();
+  for (const JobResult &Job : Batch.Jobs) {
+    J.beginObject();
+    J.key("name");
+    J.value(Job.Name);
+    J.key("attempt_seconds");
+    J.beginArray();
+    for (const JobAttempt &A : Job.Attempts)
+      J.value(A.Seconds);
+    J.endArray();
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+  J.endObject();
+}

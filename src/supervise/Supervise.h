@@ -1,0 +1,207 @@
+//===- supervise/Supervise.h - Supervised batch analysis jobs ---*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The supervision layer: runs each analysis job in a forked, rlimit-guarded
+/// child process (support/Subprocess.h) and turns whatever happens to that
+/// child into a classified, retried, reported event.  The cooperative
+/// resilience stack (degradation ladder, budgets, cancellation) handles
+/// failures the solver can *see*; this layer handles the ones it cannot —
+/// segfaults, OOM kills, hangs, corrupted inputs — which is what a
+/// production service actually meets when it analyzes untrusted workloads.
+///
+/// The flow per job:
+///
+///   1. fork a child; the child parses + validates the input (the untrusted
+///      boundary stays inside the sandbox), then runs the sequential
+///      degradation ladder (runResilient) and writes an
+///      `intro-run-report-v1` line over the pipe.  Before each rung it
+///      streams a one-line rung_start progress event, so the parent knows
+///      the deepest rung that *started* even if the child dies hard.
+///   2. classify the outcome (JobOutcomeClass below) from the exit code /
+///      signal / report;
+///   3. retry transient classes with exponential backoff + deterministic
+///      seeded jitter, relaunching hard deaths with the rungs at-and-above
+///      the one that killed the child disabled (escalateBelow) — the child
+///      resumes the ladder where its predecessor died;
+///   4. quarantine jobs that are deterministically bad (parse errors,
+///      ladder floor failed) or that exhausted their retry budget.
+///
+/// The batch report (`intro-batch-report-v1`) separates a "deterministic"
+/// section — classes, planned backoff delays, rung progressions, solver
+/// counters — from a "timing" section holding every wall-clock value, so
+/// the deterministic bytes are identical across retry timing and worker
+/// counts for deterministic child behavior (the same contract the fig
+/// harness reports follow).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPERVISE_SUPERVISE_H
+#define SUPERVISE_SUPERVISE_H
+
+#include "introspect/Resilient.h"
+#include "support/Subprocess.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace intro::supervise {
+
+/// The failure taxonomy: what one supervised attempt amounted to, after
+/// combining the child's process-level fate with its report.
+enum class JobOutcomeClass : uint8_t {
+  Clean,           ///< Completed; a usable result with a report.
+  AnalysisFailure, ///< Ladder floor failed deterministically; not retried.
+  BadInput,        ///< Parse/validation errors; deterministic, not retried.
+  NonzeroExit,     ///< Unexplained nonzero exit; retried.
+  Signalled,       ///< Killed by a signal (segfault, abort); retried.
+  OutOfMemory,     ///< Starved under RLIMIT_AS; retried on a tighter rung.
+  WatchdogTimeout, ///< Watchdog (wall) or RLIMIT_CPU (SIGXCPU); retried.
+  BadReport,       ///< Exited clean but the report is missing/garbled.
+};
+
+/// \returns a stable lower-snake-case name for \p Class (report vocabulary).
+const char *jobOutcomeClassName(JobOutcomeClass Class);
+
+/// \returns true if \p Class is transient enough to retry.  Deterministic
+/// verdicts (Clean, BadInput, AnalysisFailure) are not: retrying them
+/// reproduces them.
+bool isRetryable(JobOutcomeClass Class);
+
+/// Deterministic fault injection for the *process* level — the hard-death
+/// counterpart of the solver's FaultPlan.  Inert by default.  The chaos
+/// fires inside the child when the given rung starts (report kinds fire at
+/// report-writing time instead), and only while the 1-based attempt number
+/// is <= UntilAttempt — so a plan with UntilAttempt=1 crashes the first
+/// attempt and lets the retry succeed.
+struct ChaosPlan {
+  enum class Kind : uint8_t {
+    None,            ///< No injected fault.
+    Crash,           ///< raise(SIGKILL): an uncatchable hard death.
+    Oom,             ///< Allocate until the address-space limit starves us.
+    Spin,            ///< Sleep forever; only the watchdog ends it.
+    ExitNonzero,     ///< _exit(13) mid-ladder, skipping the report.
+    GarbageReport,   ///< Exit clean but write binary garbage as the report.
+    TruncatedReport, ///< Exit clean but cut the report mid-object.
+  };
+  Kind Fault = Kind::None;
+  /// The rung whose start triggers mid-ladder kinds.
+  DegradationLevel AtLevel = DegradationLevel::Deep;
+  /// Fire only on attempts <= this (1-based); default: every attempt.
+  uint32_t UntilAttempt = ~0u;
+
+  bool armed() const { return Fault != Kind::None; }
+};
+
+/// One input to analyze: a named textual-IR program.
+struct JobSpec {
+  std::string Name;   ///< Stable identifier (file name) used in reports.
+  std::string Source; ///< Textual IR; parsed inside the child.
+  ChaosPlan Chaos;    ///< Injected process-level fault (tests/smoke only).
+};
+
+/// Retry/backoff policy.  Delays are planned deterministically from (Seed,
+/// job index, attempt) via the repo's xorshift Rng, so the planned schedule
+/// is part of the deterministic report even though actual sleeping is not.
+struct RetryPolicy {
+  uint32_t MaxAttempts = 3;    ///< Total attempts per job (first + retries).
+  double BaseDelayMs = 50;     ///< Backoff before the first retry.
+  double Multiplier = 2.0;     ///< Exponential growth per further retry.
+  double JitterFraction = 0.5; ///< Delay varies by +/- this fraction.
+  uint64_t Seed = 0x5eed;      ///< Jitter seed (reproducible schedules).
+};
+
+/// \returns the planned backoff in ms before retry number \p Attempt
+/// (2-based: the delay planned after attempt Attempt-1 failed) of job
+/// \p JobIndex.  Pure function of its arguments.
+double plannedBackoffMs(const RetryPolicy &Policy, size_t JobIndex,
+                        uint32_t Attempt);
+
+/// Disables every ladder rung at or above \p Level in \p Options, so a
+/// relaunched child resumes strictly below the rung that killed its
+/// predecessor.  Insensitive (the floor) disables nothing — there is
+/// nothing below the floor to resume at.
+void escalateBelow(ResilientOptions &Options, DegradationLevel Level);
+
+/// Everything recorded about one child launch of one job.
+struct JobAttempt {
+  ChildStatus Status = ChildStatus::CleanExit; ///< Process-level fate.
+  JobOutcomeClass Class = JobOutcomeClass::Clean;
+  int ExitCode = 0;
+  int TermSignal = 0;
+  /// Deepest rung the child reported starting (progress lines); valid only
+  /// when AnyRungStarted.
+  DegradationLevel DeepestStartedRung = DegradationLevel::Deep;
+  uint32_t DeepestStartedRound = 0;
+  bool AnyRungStarted = false;
+  /// Why the child's report could not be used (empty when it could).
+  std::string ReportError;
+  /// Backoff planned after this attempt (0 when no retry follows).
+  double PlannedDelayMs = 0;
+  /// Child ladder history decoded from the report (empty on hard deaths).
+  AttemptTrace Ladder;
+  double Seconds = 0; ///< Wall clock of the attempt (timing-only).
+};
+
+/// The final record of one job after retries settled.
+struct JobResult {
+  std::string Name;
+  JobOutcomeClass FinalClass = JobOutcomeClass::Clean;
+  bool Quarantined = false; ///< Deterministically bad or retries exhausted.
+  std::vector<JobAttempt> Attempts;
+  /// Parse/validation diagnostics (BadInput jobs).
+  std::vector<std::string> InputErrors;
+  /// Winning rung/status of the final successful attempt (Clean jobs).
+  std::string ResultLevel;
+  std::string ResultStatus;
+  bool ResultCompleted = false;
+};
+
+/// Batch-level configuration.
+struct BatchOptions {
+  /// The base degradation-ladder configuration every job starts from.
+  /// Cancel/OnRungStart/Portfolio are supervisor-owned and ignored:
+  /// children always run the sequential ladder (one thread after fork).
+  ResilientOptions Ladder;
+  /// Hard limits applied to every child.
+  ChildLimits Limits;
+  RetryPolicy Retry;
+  /// Supervisor threads running jobs concurrently (1 = serial).  The
+  /// deterministic report section is identical for any value.
+  unsigned Workers = 1;
+  /// Injectable sleeper for backoff delays; tests swap in a no-op to prove
+  /// the deterministic report does not depend on retry timing.  Null means
+  /// actually sleep.
+  std::function<void(double Ms)> SleepMs;
+};
+
+/// The outcome of a whole batch.
+struct BatchResult {
+  std::vector<JobResult> Jobs; ///< In input order, independent of Workers.
+  double TotalSeconds = 0;     ///< Wall clock of the batch (timing-only).
+};
+
+/// Runs one job under supervision: launch, classify, retry with backoff
+/// and ladder escalation, quarantine.  \p JobIndex seeds the jitter.
+JobResult runSupervisedJob(const JobSpec &Job, size_t JobIndex,
+                           const BatchOptions &Options);
+
+/// Runs every job (optionally on several supervisor threads) and collects
+/// results in input order.
+BatchResult runSupervisedBatch(const std::vector<JobSpec> &Jobs,
+                               const BatchOptions &Options);
+
+/// Writes the `intro-batch-report-v1` document: a "deterministic" object
+/// (policy, limits, ladder options, per-job classes / attempts / planned
+/// delays / rung progressions / deterministic solver counters, totals) and
+/// a "timing" object (every wall-clock value).
+void writeBatchReportJson(JsonWriter &J, const BatchResult &Batch,
+                          const BatchOptions &Options);
+
+} // namespace intro::supervise
+
+#endif // SUPERVISE_SUPERVISE_H

@@ -1,0 +1,37 @@
+//===- support/ExitCodes.h - Process exit-code contract ---------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exit-code contract shared by every tool in the repo (the fig
+/// benches, intro_batch).  A supervisor — ours or CI's — must be able to
+/// distinguish "the analysis legitimately failed" from "you fed me
+/// garbage" from "the tool itself is broken" without parsing stderr, so a
+/// blanket `return 1` is banned.  Codes 97/98 are reserved by the child
+/// harness (support/Subprocess.h) and deliberately outside this space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_EXITCODES_H
+#define SUPPORT_EXITCODES_H
+
+namespace intro {
+
+/// Everything worked; results (and reports) are complete.
+inline constexpr int ExitSuccess = 0;
+/// The tool ran correctly but the analysis did not produce a usable result
+/// (budget exhaustion on the last rung, a quarantined batch job, ...).
+inline constexpr int ExitAnalysisFailure = 1;
+/// The input was rejected before analysis: unknown flags, unreadable
+/// files, programs with parse or validation errors.
+inline constexpr int ExitBadInput = 2;
+/// The tool itself failed: an unexpected exception, an I/O error writing a
+/// report, a supervision primitive failing.  These are our bugs, not the
+/// user's.
+inline constexpr int ExitInternalError = 3;
+
+} // namespace intro
+
+#endif // SUPPORT_EXITCODES_H

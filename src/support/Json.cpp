@@ -7,8 +7,10 @@
 #include "support/Json.h"
 
 #include <cassert>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace intro;
 
@@ -95,6 +97,362 @@ void JsonWriter::value(double Number) {
 void JsonWriter::null() {
   prefix();
   Out << "null";
+}
+
+//===----------------------------------------------------------------------===//
+// JsonValue / parseJson
+//===----------------------------------------------------------------------===//
+
+const JsonValue *JsonValue::get(std::string_view Name) const {
+  if (!isObject())
+    return nullptr;
+  for (const auto &[Key, Value] : Members)
+    if (Key == Name)
+      return &Value;
+  return nullptr;
+}
+
+bool JsonValue::getString(std::string_view Name, std::string &Out) const {
+  const JsonValue *V = get(Name);
+  if (!V || !V->isString())
+    return false;
+  Out = V->asString();
+  return true;
+}
+
+bool JsonValue::getUint(std::string_view Name, uint64_t &Out) const {
+  const JsonValue *V = get(Name);
+  if (!V || !V->isNumber() || V->asDouble() < 0)
+    return false;
+  Out = V->asUint();
+  return true;
+}
+
+bool JsonValue::getDouble(std::string_view Name, double &Out) const {
+  const JsonValue *V = get(Name);
+  if (!V || !V->isNumber())
+    return false;
+  Out = V->asDouble();
+  return true;
+}
+
+bool JsonValue::getBool(std::string_view Name, bool &Out) const {
+  const JsonValue *V = get(Name);
+  if (!V || !V->isBool())
+    return false;
+  Out = V->asBool();
+  return true;
+}
+
+namespace {
+
+/// Recursive-descent JSON reader.  All failure paths set Error and unwind
+/// via the ok() checks — no exceptions, no assertions on input content.
+class JsonParser {
+public:
+  JsonParser(std::string_view Text, size_t MaxDepth)
+      : Text(Text), MaxDepth(MaxDepth) {}
+
+  JsonParseResult run() {
+    JsonParseResult Result;
+    parseValue(Result.Value, 0);
+    if (Error.empty()) {
+      skipWhitespace();
+      if (Pos != Text.size())
+        fail("trailing garbage after JSON document");
+    }
+    Result.Error = std::move(Error);
+    Result.Line = Line;
+    return Result;
+  }
+
+private:
+  void fail(const std::string &Message) {
+    if (Error.empty())
+      Error = "line " + std::to_string(Line) + ": " + Message;
+  }
+
+  bool ok() const { return Error.empty(); }
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipWhitespace() {
+    while (!atEnd()) {
+      char C = Text[Pos];
+      if (C == '\n')
+        ++Line;
+      else if (C != ' ' && C != '\t' && C != '\r')
+        return;
+      ++Pos;
+    }
+  }
+
+  /// Consumes the keyword \p Word ("true"/"false"/"null") or fails.
+  bool keyword(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word) {
+      fail("invalid token");
+      return false;
+    }
+    Pos += Word.size();
+    return true;
+  }
+
+  void parseValue(JsonValue &Out, size_t Depth) {
+    if (Depth > MaxDepth) {
+      fail("nesting deeper than " + std::to_string(MaxDepth) + " levels");
+      return;
+    }
+    skipWhitespace();
+    if (atEnd()) {
+      fail("unexpected end of input (truncated document?)");
+      return;
+    }
+    switch (peek()) {
+    case '{':
+      parseObject(Out, Depth);
+      return;
+    case '[':
+      parseArray(Out, Depth);
+      return;
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      parseString(Out.Str);
+      return;
+    case 't':
+      if (keyword("true")) {
+        Out.K = JsonValue::Kind::Bool;
+        Out.Flag = true;
+      }
+      return;
+    case 'f':
+      if (keyword("false")) {
+        Out.K = JsonValue::Kind::Bool;
+        Out.Flag = false;
+      }
+      return;
+    case 'n':
+      if (keyword("null"))
+        Out.K = JsonValue::Kind::Null;
+      return;
+    default:
+      parseNumber(Out);
+      return;
+    }
+  }
+
+  void parseObject(JsonValue &Out, size_t Depth) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWhitespace();
+    if (!atEnd() && peek() == '}') {
+      ++Pos;
+      return;
+    }
+    while (ok()) {
+      skipWhitespace();
+      if (atEnd() || peek() != '"') {
+        fail("expected '\"' starting an object key");
+        return;
+      }
+      std::string Key;
+      parseString(Key);
+      if (!ok())
+        return;
+      skipWhitespace();
+      if (atEnd() || peek() != ':') {
+        fail("expected ':' after object key");
+        return;
+      }
+      ++Pos;
+      JsonValue Member;
+      parseValue(Member, Depth + 1);
+      if (!ok())
+        return;
+      // First occurrence wins; later duplicates are dropped, not an error —
+      // a tolerant reader is the right default for crash-time reports.
+      if (!Out.get(Key))
+        Out.Members.emplace_back(std::move(Key), std::move(Member));
+      skipWhitespace();
+      if (atEnd()) {
+        fail("unexpected end of input inside object");
+        return;
+      }
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++Pos;
+        return;
+      }
+      fail("expected ',' or '}' in object");
+      return;
+    }
+  }
+
+  void parseArray(JsonValue &Out, size_t Depth) {
+    Out.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWhitespace();
+    if (!atEnd() && peek() == ']') {
+      ++Pos;
+      return;
+    }
+    while (ok()) {
+      JsonValue Element;
+      parseValue(Element, Depth + 1);
+      if (!ok())
+        return;
+      Out.Elems.push_back(std::move(Element));
+      skipWhitespace();
+      if (atEnd()) {
+        fail("unexpected end of input inside array");
+        return;
+      }
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++Pos;
+        return;
+      }
+      fail("expected ',' or ']' in array");
+      return;
+    }
+  }
+
+  void parseString(std::string &Out) {
+    ++Pos; // opening '"'
+    Out.clear();
+    while (true) {
+      if (atEnd()) {
+        fail("unterminated string");
+        return;
+      }
+      unsigned char C = static_cast<unsigned char>(Text[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return;
+      }
+      if (C == '\n' || C < 0x20) {
+        fail("unescaped control character in string");
+        return;
+      }
+      if (C != '\\') {
+        Out += static_cast<char>(C);
+        ++Pos;
+        continue;
+      }
+      ++Pos; // '\'
+      if (atEnd()) {
+        fail("unterminated escape sequence");
+        return;
+      }
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size()) {
+          fail("truncated \\u escape");
+          return;
+        }
+        uint32_t Code = 0;
+        for (int Digit = 0; Digit < 4; ++Digit) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<uint32_t>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<uint32_t>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<uint32_t>(H - 'A' + 10);
+          else {
+            fail("invalid hex digit in \\u escape");
+            return;
+          }
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        fail("invalid escape character");
+        return;
+      }
+    }
+  }
+
+  /// Encodes \p Code as UTF-8.  Surrogates are written as-is in the 3-byte
+  /// form (WTF-8 style): report decoding must not lose bytes over pedantry.
+  static void appendUtf8(std::string &Out, uint32_t Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xC0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      Out += static_cast<char>(0xE0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    }
+  }
+
+  void parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (!atEnd() && peek() == '-')
+      ++Pos;
+    while (!atEnd() && ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+                        peek() == 'e' || peek() == 'E' || peek() == '+' ||
+                        peek() == '-'))
+      ++Pos;
+    if (Pos == Start) {
+      fail("invalid token");
+      return;
+    }
+    // strtod wants a NUL-terminated buffer; the token is short, copy it.
+    std::string Token(Text.substr(Start, Pos - Start));
+    errno = 0;
+    char *End = nullptr;
+    double Value = std::strtod(Token.c_str(), &End);
+    if (End != Token.c_str() + Token.size() || errno == ERANGE ||
+        !std::isfinite(Value)) {
+      fail("malformed or out-of-range number '" + Token + "'");
+      return;
+    }
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = Value;
+  }
+
+  std::string_view Text;
+  size_t MaxDepth;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  std::string Error;
+};
+
+} // namespace
+
+JsonParseResult intro::parseJson(std::string_view Text, size_t MaxDepth) {
+  return JsonParser(Text, MaxDepth).run();
 }
 
 std::string JsonWriter::escape(std::string_view Text) {

@@ -15,6 +15,14 @@
 /// as `null`, never as bare `nan`/`inf` tokens — a single degenerate ratio
 /// upstream must not make a whole report unparseable.
 ///
+/// The file also provides the matching *reader* (JsonValue / parseJson):
+/// a small recursive-descent parser used by the supervision layer to decode
+/// run reports arriving over a pipe from a child process that may have
+/// died mid-write.  It never aborts on malformed input — truncation,
+/// binary garbage, and pathological nesting all come back as an error
+/// message with a line number (the same contract the frontend parser
+/// gives for untrusted program text).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SUPPORT_JSON_H
@@ -24,6 +32,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace intro {
@@ -79,6 +88,72 @@ private:
   std::vector<Scope> Stack;
   bool PendingKey = false;
 };
+
+/// A parsed JSON value.  Numbers are stored as double plus, when the token
+/// was integral and in range, a lossless uint64_t/int64_t view; object
+/// member order is preserved (first occurrence wins on duplicate keys).
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return Flag; }
+  double asDouble() const { return Num; }
+  /// Integral view of a number; truncates like a C cast for non-integers.
+  uint64_t asUint() const { return static_cast<uint64_t>(Num); }
+  const std::string &asString() const { return Str; }
+
+  const std::vector<JsonValue> &elements() const { return Elems; }
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+  size_t size() const { return isObject() ? Members.size() : Elems.size(); }
+
+  /// \returns the member named \p Name, or nullptr if absent (or if this
+  /// value is not an object) — chainable without null checks at each hop.
+  const JsonValue *get(std::string_view Name) const;
+
+  /// Typed member lookups for report decoding: \returns true and stores
+  /// into \p Out only when the member exists and has the right type.
+  bool getString(std::string_view Name, std::string &Out) const;
+  bool getUint(std::string_view Name, uint64_t &Out) const;
+  bool getDouble(std::string_view Name, double &Out) const;
+  bool getBool(std::string_view Name, bool &Out) const;
+
+  // The parser builds values directly; these are not meant as a public
+  // construction API (use JsonWriter to produce JSON).
+  Kind K = Kind::Null;
+  bool Flag = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Elems;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+/// Outcome of parseJson: the value on success, else a diagnostic with the
+/// 1-based line where parsing stopped.
+struct JsonParseResult {
+  JsonValue Value;
+  std::string Error; ///< Empty on success.
+  uint32_t Line = 1; ///< Line of the error (or of the end on success).
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses one JSON document from \p Text (trailing whitespace allowed,
+/// trailing garbage is an error).  Never throws or aborts: truncated input,
+/// binary garbage, numbers out of range, and nesting deeper than
+/// \p MaxDepth all yield ok() == false with a line-numbered message.
+JsonParseResult parseJson(std::string_view Text, size_t MaxDepth = 128);
 
 } // namespace intro
 

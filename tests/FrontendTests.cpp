@@ -339,3 +339,90 @@ class Main extends Object {
   ASSERT_TRUE(Again.ok());
   EXPECT_EQ(printProgram(Again.Prog), Once);
 }
+
+// --- Hostile input: the frontend is the untrusted boundary -------------------
+//
+// intro_batch feeds arbitrary files into parseProgram inside a sandboxed
+// child; the parser must turn anything — truncated programs, binary
+// garbage, pathological nesting — into line-numbered diagnostics, never a
+// crash or an abort.
+
+TEST(Parser, EveryTruncationOfAValidProgramFailsGracefully) {
+  const char *Source = R"(
+class Object
+class Box extends Object {
+  field f
+  method set(p) {
+    this.Box#f = p
+  }
+}
+class Main extends Object {
+  entry static method main() {
+    b = new Box
+    b.set(b)
+  }
+}
+)";
+  std::string Full(Source);
+  for (size_t Length = 0; Length < Full.size(); ++Length) {
+    std::string Cut = Full.substr(0, Length);
+    ParseResult Result = parseProgram(Cut);
+    if (Result.ok())
+      continue; // Some prefixes are complete programs; that is fine.
+    ASSERT_FALSE(Result.Errors.empty()) << "length " << Length;
+    EXPECT_EQ(Result.Errors[0].rfind("line ", 0), 0u)
+        << "no line number at truncation length " << Length << ": "
+        << Result.Errors[0];
+  }
+}
+
+TEST(Parser, BinaryGarbageIsRejectedWithLineNumberedDiagnostics) {
+  const std::vector<std::string> Garbage = {
+      std::string("\x01\x02\x03\xff\xfe"),
+      std::string("class\0Object", 12),
+      std::string(256, '\xff'),
+      "\x7f" "ELF\x02\x01\x01\x00",
+      "class Object\n\xde\xad\xbe\xef\n",
+  };
+  for (const std::string &Bytes : Garbage) {
+    ParseResult Result = parseProgram(Bytes);
+    ASSERT_FALSE(Result.ok());
+    ASSERT_FALSE(Result.Errors.empty());
+    EXPECT_EQ(Result.Errors[0].rfind("line ", 0), 0u) << Result.Errors[0];
+  }
+}
+
+TEST(Parser, DiagnosticsPointAtTheOffendingLine) {
+  // The garbage byte sits on line 3; the diagnostic must say so.
+  ParseResult Result = parseProgram("class Object\nclass A extends Object\n@");
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.Errors[0].rfind("line 3:", 0), 0u) << Result.Errors[0];
+}
+
+TEST(Parser, PathologicalNestingDoesNotOverflowOrHang) {
+  // 100k unmatched openers: the parser must fail fast, not recurse per
+  // brace or scan quadratically.
+  for (char Opener : {'{', '(', '}'}) {
+    std::string Bomb = "class Object " + std::string(100000, Opener);
+    ParseResult Result = parseProgram(Bomb);
+    EXPECT_FALSE(Result.ok());
+    EXPECT_FALSE(Result.Errors.empty());
+  }
+  // A long but well-formed inheritance chain still parses.
+  std::string Chain = "class C0\n";
+  for (int Index = 1; Index < 2000; ++Index)
+    Chain += "class C" + std::to_string(Index) + " extends C" +
+             std::to_string(Index - 1) + "\n";
+  EXPECT_TRUE(parseProgram(Chain).ok());
+}
+
+TEST(Lexer, GarbageBytesBecomeErrorTokensWithLines) {
+  auto Tokens = tokenize("foo\n\x01\nbar");
+  bool SawError = false;
+  for (const Token &T : Tokens)
+    if (T.Kind == TokenKind::Error) {
+      SawError = true;
+      EXPECT_EQ(T.Line, 2u);
+    }
+  EXPECT_TRUE(SawError);
+}

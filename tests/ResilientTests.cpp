@@ -18,6 +18,7 @@
 #include "introspect/Driver.h"
 #include "introspect/Resilient.h"
 #include "ir/Program.h"
+#include "support/Json.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "workload/DaCapo.h"
@@ -724,4 +725,198 @@ TEST(FaultInjection, TupleInflationSaturatesInsteadOfWrapping) {
   PointsToResult R = solvePointsTo(Prog, *Policy, Table, Options);
   EXPECT_EQ(R.Status, SolveStatus::TupleBudgetExceeded);
   expectConsistent(Prog, R);
+}
+
+// --- FaultPlan x portfolio interplay -----------------------------------------
+//
+// The solver-level fault plans and the racing portfolio compose: a fault
+// firing inside a portfolio worker must produce exactly the sequential
+// walk's outcome — first-completing-in-ladder-order winner, consistent
+// payload, and an attempt trace that tells the whole story.
+
+namespace {
+
+/// Ladder-walk position of \p Level (launch order: deep, the insensitive
+/// pre-analysis, then the refined rungs).
+size_t ladderPosition(DegradationLevel Level) {
+  switch (Level) {
+  case DegradationLevel::Deep:
+    return 0;
+  case DegradationLevel::Insensitive:
+    return 1;
+  case DegradationLevel::IntroB:
+    return 2;
+  case DegradationLevel::IntroA:
+    return 3;
+  case DegradationLevel::TightenedIntroA:
+    return 4;
+  }
+  return 5;
+}
+
+/// Serializes \p Out and returns the parsed "attempts" array.
+JsonValue outcomeAttemptsJson(const ResilientOutcome &Out) {
+  std::ostringstream Text;
+  JsonWriter J(Text);
+  writeResilientOutcomeJson(J, Out);
+  JsonParseResult Parsed = parseJson(Text.str());
+  EXPECT_TRUE(Parsed.ok()) << Parsed.Error;
+  const JsonValue *Attempts = Parsed.Value.get("attempts");
+  EXPECT_NE(Attempts, nullptr);
+  return Attempts ? *Attempts : JsonValue();
+}
+
+} // namespace
+
+TEST(PortfolioFaults, WorkerFaultStillYieldsLadderOrderWinnerAndFullTrace) {
+  // Only the deep rung faults; IntroB, IntroA, and the floor all complete,
+  // and completion order races.  The winner must be IntroB — the first
+  // completer in *ladder* order — exactly as in the sequential walk.
+  Program Prog = chartProgram();
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  ResilientOptions Sequential;
+  Sequential.faultsFor(DegradationLevel::Deep) = failFast();
+  ResilientOptions Racing = Sequential;
+  Racing.Portfolio = true;
+  Racing.Workers = 4;
+
+  ResilientOutcome Seq = runResilient(Prog, *Refined, Sequential);
+  ResilientOutcome Par = runResilient(Prog, *Refined, Racing);
+  EXPECT_EQ(Par.Level, DegradationLevel::IntroB);
+  expectSameOutcome(Seq, Par);
+  expectConsistent(Prog, Par.Result);
+
+  // The trace is complete and in ladder order: the faulted deep rung with
+  // its injected status, then the rungs that ran, never out of order.
+  ASSERT_FALSE(Par.Trace.empty());
+  EXPECT_EQ(Par.Trace[0].Level, DegradationLevel::Deep);
+  EXPECT_EQ(Par.Trace[0].Status, SolveStatus::TupleBudgetExceeded);
+  for (size_t Index = 1; Index < Par.Trace.size(); ++Index)
+    EXPECT_LT(ladderPosition(Par.Trace[Index - 1].Level),
+              ladderPosition(Par.Trace[Index].Level) +
+                  (Par.Trace[Index].Level == DegradationLevel::TightenedIntroA
+                       ? 1
+                       : 0))
+        << "trace out of ladder order at row " << Index;
+  bool SawWinner = false;
+  for (const Attempt &A : Par.Trace)
+    if (A.Level == DegradationLevel::IntroB &&
+        A.Status == SolveStatus::Completed)
+      SawWinner = true;
+  EXPECT_TRUE(SawWinner);
+}
+
+TEST(PortfolioFaults, ExactlyOneWonFlagInTheOutcomeJson) {
+  Program Prog = chartProgram();
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  ResilientOptions Options;
+  Options.Portfolio = true;
+  Options.Workers = 4;
+  Options.faultsFor(DegradationLevel::Deep) = failFast();
+
+  ResilientOutcome Out = runResilient(Prog, *Refined, Options);
+  JsonValue Attempts = outcomeAttemptsJson(Out);
+  ASSERT_TRUE(Attempts.isArray());
+  size_t WonCount = 0;
+  std::string WinnerLevel;
+  for (const JsonValue &A : Attempts.elements()) {
+    bool Won = false;
+    ASSERT_TRUE(A.getBool("won", Won));
+    if (!Won)
+      continue;
+    ++WonCount;
+    ASSERT_TRUE(A.getString("level", WinnerLevel));
+  }
+  EXPECT_EQ(WonCount, 1u);
+  EXPECT_EQ(WinnerLevel, degradationLevelName(Out.Level));
+}
+
+TEST(PortfolioFaults, AllRungsFaultedLeavesNoWonFlag) {
+  // When even the floor faults, nothing completes and no attempt may be
+  // marked as the winner; the racing walk must agree with the sequential
+  // one on the all-failed outcome.
+  Program Prog = chartProgram();
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  ResilientOptions Sequential;
+  for (DegradationLevel Level :
+       {DegradationLevel::Deep, DegradationLevel::Insensitive,
+        DegradationLevel::IntroB, DegradationLevel::IntroA,
+        DegradationLevel::TightenedIntroA})
+    Sequential.faultsFor(Level) = failFast();
+  ResilientOptions Racing = Sequential;
+  Racing.Portfolio = true;
+  Racing.Workers = 4;
+
+  ResilientOutcome Seq = runResilient(Prog, *Refined, Sequential);
+  ResilientOutcome Par = runResilient(Prog, *Refined, Racing);
+  EXPECT_FALSE(Seq.completed());
+  EXPECT_FALSE(Par.completed());
+  EXPECT_EQ(Seq.Level, Par.Level);
+  EXPECT_EQ(Seq.Result.Status, Par.Result.Status);
+  expectConsistent(Prog, Par.Result);
+
+  JsonValue Attempts = outcomeAttemptsJson(Par);
+  ASSERT_TRUE(Attempts.isArray());
+  for (const JsonValue &A : Attempts.elements()) {
+    bool Won = true;
+    ASSERT_TRUE(A.getBool("won", Won));
+    EXPECT_FALSE(Won);
+  }
+}
+
+TEST(PortfolioFaults, PreAnalysisFaultUnderPortfolioMatchesSequential) {
+  // The insensitive pre-analysis rung itself faults while the refined
+  // rungs race on top of it.  Whatever the sequential ladder does with a
+  // dead floor, the portfolio must reproduce it bit for bit.
+  Program Prog = chartProgram();
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  ResilientOptions Sequential;
+  Sequential.faultsFor(DegradationLevel::Deep) = failFast();
+  Sequential.faultsFor(DegradationLevel::Insensitive) =
+      failFast(SolveStatus::MemoryBudgetExceeded);
+  ResilientOptions Racing = Sequential;
+  Racing.Portfolio = true;
+  Racing.Workers = 4;
+
+  ResilientOutcome Seq = runResilient(Prog, *Refined, Sequential);
+  ResilientOutcome Par = runResilient(Prog, *Refined, Racing);
+  expectSameOutcome(Seq, Par);
+  expectConsistent(Prog, Par.Result);
+
+  // The pre-analysis row records its injected status in both walks.
+  for (const ResilientOutcome *Out : {&Seq, &Par}) {
+    bool SawFloor = false;
+    for (const Attempt &A : Out->Trace)
+      if (A.Level == DegradationLevel::Insensitive) {
+        SawFloor = true;
+        EXPECT_EQ(A.Status, SolveStatus::MemoryBudgetExceeded);
+      }
+    EXPECT_TRUE(SawFloor);
+  }
+}
+
+TEST(PortfolioFaults, TupleInflationTripsBudgetsIdenticallyInTheRace) {
+  // TupleInflation makes the budget check see exploding points-to sets.
+  // Inflated IntroB trips its tuple budget inside a portfolio worker; the
+  // race must settle on IntroA exactly like the sequential walk.
+  Program Prog = chartProgram();
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  ResilientOptions Sequential;
+  Sequential.faultsFor(DegradationLevel::Deep) = failFast();
+  Sequential.faultsFor(DegradationLevel::IntroB).TupleInflation = 1000000;
+  Sequential.RefinedBudget.MaxTuples = 10000000;
+
+  ResilientOptions Racing = Sequential;
+  Racing.Portfolio = true;
+  Racing.Workers = 4;
+
+  ResilientOutcome Seq = runResilient(Prog, *Refined, Sequential);
+  ResilientOutcome Par = runResilient(Prog, *Refined, Racing);
+  EXPECT_EQ(Seq.Level, DegradationLevel::IntroA);
+  expectSameOutcome(Seq, Par);
+  expectConsistent(Prog, Par.Result);
+
+  for (const Attempt &A : Par.Trace)
+    if (A.Level == DegradationLevel::IntroB)
+      EXPECT_EQ(A.Status, SolveStatus::TupleBudgetExceeded);
 }

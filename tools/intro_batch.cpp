@@ -1,0 +1,333 @@
+//===- tools/intro_batch.cpp - Supervised batch analysis runner -----------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front of the supervision layer: analyzes a corpus of
+/// textual-IR programs (.intro files), each in its own forked,
+/// rlimit-guarded child, and reports every job as a classified event —
+/// clean, retried, or quarantined.  See DESIGN.md section 9 and the README
+/// walkthrough.
+///
+///   intro_batch [options] <file.intro | directory>...
+///
+///   --report=FILE        write the intro-batch-report-v1 JSON here
+///   --quarantine=DIR     copy inputs of quarantined jobs here (plus a
+///                        .reason.txt per input explaining the verdict)
+///   --max-attempts=N     attempts per job before quarantine (default 3)
+///   --deadline=SECONDS   per-child wall watchdog (default 60)
+///   --cpu-limit=SECONDS  per-child RLIMIT_CPU (default 0 = off)
+///   --mem-limit=MB       per-child RLIMIT_AS (default 0 = off)
+///   --seed=N             retry-jitter seed (default 0x5eed)
+///   --workers=N          supervisor threads (default 1)
+///   --chaos=SPEC@NAME    inject a process-level fault into job NAME;
+///                        SPEC = crash|oom|spin|exit|garbage|truncate
+///                        [:LEVEL][:UNTIL] (smoke tests; see ChaosPlan)
+///
+/// Exit codes (support/ExitCodes.h): 0 all jobs clean; 1 at least one job
+/// failed or was quarantined; 2 bad usage or unreadable inputs; 3 internal
+/// error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "supervise/Supervise.h"
+
+#include "support/ExitCodes.h"
+#include "support/Json.h"
+#include "support/TableWriter.h"
+
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace intro;
+using namespace intro::supervise;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> Inputs;
+  std::string ReportPath;
+  std::string QuarantineDir;
+  BatchOptions Batch;
+  /// Chaos specs keyed by job name, applied after corpus discovery.
+  std::vector<std::pair<std::string, ChaosPlan>> Chaos;
+};
+
+/// Parses `--flag=value`; \returns true and fills \p Value on a match.
+bool flagValue(const std::string &Arg, const char *Flag, std::string &Value) {
+  std::string Prefix = std::string(Flag) + "=";
+  if (Arg.compare(0, Prefix.size(), Prefix) != 0)
+    return false;
+  Value = Arg.substr(Prefix.size());
+  return true;
+}
+
+/// Parses a `--chaos=` SPEC@NAME payload.  \returns false on bad syntax.
+bool parseChaosSpec(const std::string &Spec,
+                    std::pair<std::string, ChaosPlan> &Out) {
+  size_t At = Spec.rfind('@');
+  if (At == std::string::npos || At + 1 >= Spec.size())
+    return false;
+  Out.first = Spec.substr(At + 1);
+  std::string Body = Spec.substr(0, At);
+
+  std::vector<std::string> Parts;
+  size_t Begin = 0;
+  while (Begin <= Body.size()) {
+    size_t Colon = Body.find(':', Begin);
+    size_t Stop = Colon == std::string::npos ? Body.size() : Colon;
+    Parts.push_back(Body.substr(Begin, Stop - Begin));
+    Begin = Stop + 1;
+    if (Colon == std::string::npos)
+      break;
+  }
+  if (Parts.empty() || Parts.size() > 3)
+    return false;
+
+  ChaosPlan &Plan = Out.second;
+  const std::string &Kind = Parts[0];
+  if (Kind == "crash")
+    Plan.Fault = ChaosPlan::Kind::Crash;
+  else if (Kind == "oom")
+    Plan.Fault = ChaosPlan::Kind::Oom;
+  else if (Kind == "spin")
+    Plan.Fault = ChaosPlan::Kind::Spin;
+  else if (Kind == "exit")
+    Plan.Fault = ChaosPlan::Kind::ExitNonzero;
+  else if (Kind == "garbage")
+    Plan.Fault = ChaosPlan::Kind::GarbageReport;
+  else if (Kind == "truncate")
+    Plan.Fault = ChaosPlan::Kind::TruncatedReport;
+  else
+    return false;
+  if (Parts.size() >= 2 && !Parts[1].empty() &&
+      !degradationLevelFromName(Parts[1], Plan.AtLevel))
+    return false;
+  if (Parts.size() == 3) {
+    try {
+      Plan.UntilAttempt = static_cast<uint32_t>(std::stoul(Parts[2]));
+    } catch (...) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses the command line.  \returns an exit code to bail with, or -1 to
+/// continue.
+int parseCli(int argc, char **argv, CliOptions &Cli) {
+  for (int Index = 1; Index < argc; ++Index) {
+    std::string Arg = argv[Index];
+    std::string Value;
+    try {
+      if (flagValue(Arg, "--report", Cli.ReportPath) ||
+          flagValue(Arg, "--quarantine", Cli.QuarantineDir))
+        continue;
+      if (flagValue(Arg, "--max-attempts", Value)) {
+        Cli.Batch.Retry.MaxAttempts =
+            std::max(1u, static_cast<uint32_t>(std::stoul(Value)));
+        continue;
+      }
+      if (flagValue(Arg, "--deadline", Value)) {
+        Cli.Batch.Limits.WallDeadlineSeconds = std::stod(Value);
+        continue;
+      }
+      if (flagValue(Arg, "--cpu-limit", Value)) {
+        Cli.Batch.Limits.MaxCpuSeconds =
+            static_cast<uint32_t>(std::stoul(Value));
+        continue;
+      }
+      if (flagValue(Arg, "--mem-limit", Value)) {
+        Cli.Batch.Limits.MaxAddressSpaceBytes =
+            static_cast<uint64_t>(std::stoull(Value)) << 20;
+        continue;
+      }
+      if (flagValue(Arg, "--seed", Value)) {
+        Cli.Batch.Retry.Seed = std::stoull(Value);
+        continue;
+      }
+      if (flagValue(Arg, "--workers", Value)) {
+        Cli.Batch.Workers = std::max(1u, static_cast<unsigned>(
+                                             std::stoul(Value)));
+        continue;
+      }
+    } catch (...) {
+      std::cerr << "error: bad numeric value in '" << Arg << "'\n";
+      return ExitBadInput;
+    }
+    if (flagValue(Arg, "--chaos", Value)) {
+      std::pair<std::string, ChaosPlan> Spec;
+      if (!parseChaosSpec(Value, Spec)) {
+        std::cerr << "error: bad --chaos spec '" << Value
+                  << "' (expected KIND[:LEVEL][:UNTIL]@NAME)\n";
+        return ExitBadInput;
+      }
+      Cli.Chaos.push_back(std::move(Spec));
+      continue;
+    }
+    if (Arg.size() >= 2 && Arg[0] == '-' && Arg[1] == '-') {
+      std::cerr << "error: unknown flag '" << Arg << "'\n";
+      return ExitBadInput;
+    }
+    Cli.Inputs.push_back(Arg);
+  }
+  if (Cli.Inputs.empty()) {
+    std::cerr << "usage: intro_batch [options] <file.intro | directory>...\n"
+                 "       (see the file header or README for options)\n";
+    return ExitBadInput;
+  }
+  return -1;
+}
+
+/// Expands files and directories into a name-sorted job list.  Jobs are
+/// named by file stem; the sort keeps the batch order (and therefore the
+/// deterministic report) independent of directory enumeration order.
+int collectJobs(const CliOptions &Cli, std::vector<JobSpec> &Jobs) {
+  std::vector<fs::path> Files;
+  for (const std::string &Input : Cli.Inputs) {
+    std::error_code Ec;
+    if (fs::is_directory(Input, Ec)) {
+      for (const fs::directory_entry &Entry :
+           fs::directory_iterator(Input, Ec))
+        if (Entry.path().extension() == ".intro")
+          Files.push_back(Entry.path());
+      if (Ec) {
+        std::cerr << "error: cannot read directory: " << Input << "\n";
+        return ExitBadInput;
+      }
+    } else if (fs::is_regular_file(Input, Ec)) {
+      Files.push_back(Input);
+    } else {
+      std::cerr << "error: no such file or directory: " << Input << "\n";
+      return ExitBadInput;
+    }
+  }
+  std::sort(Files.begin(), Files.end());
+  for (const fs::path &File : Files) {
+    std::ifstream In(File);
+    if (!In) {
+      std::cerr << "error: cannot read: " << File.string() << "\n";
+      return ExitBadInput;
+    }
+    std::ostringstream Text;
+    Text << In.rdbuf();
+    JobSpec Job;
+    Job.Name = File.stem().string();
+    Job.Source = Text.str();
+    Jobs.push_back(std::move(Job));
+  }
+  if (Jobs.empty()) {
+    std::cerr << "error: no .intro files found\n";
+    return ExitBadInput;
+  }
+  return -1;
+}
+
+/// Copies the quarantined inputs (and a reason file each) into the
+/// quarantine directory.  \returns false on I/O failure.
+bool quarantineInputs(const std::string &Dir, const std::vector<JobSpec> &Jobs,
+                      const BatchResult &Batch) {
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  if (Ec) {
+    std::cerr << "error: cannot create quarantine dir: " << Dir << "\n";
+    return false;
+  }
+  for (size_t Index = 0; Index < Batch.Jobs.size(); ++Index) {
+    const JobResult &Job = Batch.Jobs[Index];
+    if (!Job.Quarantined)
+      continue;
+    fs::path Input = fs::path(Dir) / (Job.Name + ".intro");
+    std::ofstream Copy(Input);
+    Copy << Jobs[Index].Source;
+    std::ofstream Reason(fs::path(Dir) / (Job.Name + ".reason.txt"));
+    Reason << "job: " << Job.Name << "\n"
+           << "final class: " << jobOutcomeClassName(Job.FinalClass) << "\n"
+           << "attempts: " << Job.Attempts.size() << "\n";
+    for (const std::string &Error : Job.InputErrors)
+      Reason << "input error: " << Error << "\n";
+    if (!Copy || !Reason) {
+      std::cerr << "error: cannot write quarantine files for " << Job.Name
+                << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) try {
+  CliOptions Cli;
+  Cli.Batch.Limits.WallDeadlineSeconds = 60;
+  if (int Code = parseCli(argc, argv, Cli); Code >= 0)
+    return Code;
+
+  std::vector<JobSpec> Jobs;
+  if (int Code = collectJobs(Cli, Jobs); Code >= 0)
+    return Code;
+
+  for (const auto &[Name, Plan] : Cli.Chaos) {
+    bool Found = false;
+    for (JobSpec &Job : Jobs)
+      if (Job.Name == Name) {
+        Job.Chaos = Plan;
+        Found = true;
+      }
+    if (!Found) {
+      std::cerr << "error: --chaos target '" << Name << "' is not a job\n";
+      return ExitBadInput;
+    }
+  }
+
+  BatchResult Batch = runSupervisedBatch(Jobs, Cli.Batch);
+
+  TableWriter Table({"job", "class", "attempts", "result", "quarantined"});
+  for (const JobResult &Job : Batch.Jobs) {
+    std::string Result = Job.FinalClass == JobOutcomeClass::Clean
+                             ? Job.ResultLevel + "/" + Job.ResultStatus
+                             : std::string("-");
+    Table.addRow({Job.Name, jobOutcomeClassName(Job.FinalClass),
+                  TableWriter::num(static_cast<uint64_t>(Job.Attempts.size())),
+                  Result, Job.Quarantined ? "yes" : "no"});
+  }
+  Table.print(std::cout);
+
+  if (!Cli.ReportPath.empty()) {
+    std::ofstream Out(Cli.ReportPath);
+    if (!Out) {
+      std::cerr << "error: cannot write report: " << Cli.ReportPath << "\n";
+      return ExitInternalError;
+    }
+    JsonWriter J(Out);
+    writeBatchReportJson(J, Batch, Cli.Batch);
+    Out << '\n';
+    std::cout << "\nbatch report: " << Cli.ReportPath << "\n";
+  }
+
+  bool AnyQuarantined = false;
+  for (const JobResult &Job : Batch.Jobs)
+    AnyQuarantined |= Job.Quarantined;
+  if (AnyQuarantined && !Cli.QuarantineDir.empty()) {
+    if (!quarantineInputs(Cli.QuarantineDir, Jobs, Batch))
+      return ExitInternalError;
+    std::cout << "quarantined inputs copied to: " << Cli.QuarantineDir << "\n";
+  }
+
+  return AnyQuarantined ? ExitAnalysisFailure : ExitSuccess;
+} catch (const std::exception &Error) {
+  std::cerr << "internal error: " << Error.what() << "\n";
+  return ExitInternalError;
+} catch (...) {
+  std::cerr << "internal error: unknown exception\n";
+  return ExitInternalError;
+}
