@@ -18,10 +18,12 @@
 #include "analysis/PrecisionMetrics.h"
 #include "analysis/Reports.h"
 #include "analysis/Solver.h"
+#include "cache/ResultCache.h"
 #include "introspect/Driver.h"
 #include "ir/Program.h"
 #include "support/ExitCodes.h"
 #include "support/Json.h"
+#include "support/ParseNum.h"
 #include "support/Subprocess.h"
 #include "support/TableWriter.h"
 #include "support/Trace.h"
@@ -103,12 +105,20 @@ inline RunOutcome runPlain(const Program &Prog, const ContextPolicy &Policy) {
   return Outcome;
 }
 
-/// Runs the full two-pass introspective analysis with \p Heuristic.
+/// Runs the full two-pass introspective analysis with \p Heuristic.  A
+/// non-null \p Cache (plus \p CacheKey) lets the driver reload the shared
+/// context-insensitive pre-analysis instead of re-solving it — the IntroA
+/// and IntroB cells of one subject have an identical Pass A, and a warm
+/// rerun of the whole figure skips every Pass A.
 inline RunOutcome runIntro(const Program &Prog, Flavor F,
-                           HeuristicKind Heuristic) {
+                           HeuristicKind Heuristic,
+                           cache::ResultCache *Cache = nullptr,
+                           const cache::Fingerprint *CacheKey = nullptr) {
   IntrospectiveOptions Options;
   Options.Heuristic = Heuristic;
   Options.SecondPassBudget = deepBudget();
+  Options.Cache = Cache;
+  Options.CacheKey = CacheKey;
   auto Refined = makeFlavor(F, Prog);
   IntrospectiveOutcome Out = runIntrospective(Prog, *Refined, Options);
   RunOutcome Outcome;
@@ -250,12 +260,13 @@ inline int checkFigArgs(int argc, char **argv) {
     if (Arg == "--supervised")
       continue;
     if (Arg.compare(0, 10, "--workers=") == 0) {
-      std::string Value = Arg.substr(10);
-      if (Value.empty() ||
-          Value.find_first_not_of("0123456789") != std::string::npos ||
-          Value == "0") {
-        std::cerr << "error: bad --workers value '" << Value
-                  << "' (expected a positive integer)\n";
+      // Strict range-checked parse: sweepWorkers clamps for the untyped
+      // INTRO_WORKERS environment fallback, but an explicit flag that
+      // overflows or is out of range must be an error, not a silent clamp.
+      uint32_t Workers = 0;
+      std::string Error;
+      if (!parseU32("--workers", Arg.substr(10), 1, 1024, Workers, Error)) {
+        std::cerr << "error: " << Error << "\n";
         return ExitBadInput;
       }
       continue;
@@ -267,8 +278,16 @@ inline int checkFigArgs(int argc, char **argv) {
       }
       continue;
     }
+    if (Arg.compare(0, 12, "--cache-dir=") == 0) {
+      if (Arg.size() == 12) {
+        std::cerr << "error: --cache-dir needs a directory path\n";
+        return ExitBadInput;
+      }
+      continue;
+    }
     std::cerr << "error: unknown argument '" << Arg
-              << "' (known: --workers=N, --trace=FILE, --supervised)\n";
+              << "' (known: --workers=N, --trace=FILE, --cache-dir=DIR, "
+                 "--supervised)\n";
     return ExitBadInput;
   }
   return -1;
@@ -279,6 +298,19 @@ inline int checkFigArgs(int argc, char **argv) {
 /// lands next to it (see TraceSession).
 inline std::string traceFile(int argc, char **argv) {
   const std::string Flag = "--trace=";
+  for (int Index = 1; Index < argc; ++Index) {
+    std::string Arg = argv[Index];
+    if (Arg.compare(0, Flag.size(), Flag) == 0 && Arg.size() > Flag.size())
+      return Arg.substr(Flag.size());
+  }
+  return std::string();
+}
+
+/// Extracts the `--cache-dir=DIR` flag: the Pass-A result-cache directory
+/// shared by the introspective cells (and by reruns of the harness); empty
+/// string when absent, which disables caching.
+inline std::string cacheDirFlag(int argc, char **argv) {
+  const std::string Flag = "--cache-dir=";
   for (int Index = 1; Index < argc; ++Index) {
     std::string Arg = argv[Index];
     if (Arg.compare(0, Flag.size(), Flag) == 0 && Arg.size() > Flag.size())

@@ -25,6 +25,7 @@
 #include "Sweep.h"
 
 #include <iostream>
+#include <optional>
 #include <vector>
 
 namespace intro::bench {
@@ -37,7 +38,8 @@ namespace intro::bench {
 inline int runFlavorFigure(Flavor F, const char *FigureName,
                            const char *ExpectedShape, unsigned Workers,
                            std::string TracePath = std::string(),
-                           bool Supervised = false) {
+                           bool Supervised = false,
+                           std::string CacheDir = std::string()) {
   TraceSession Trace(std::move(TracePath));
   std::cout << FigureName << ": performance and precision for introspective "
             << flavorName(F) << " variants\n"
@@ -62,19 +64,42 @@ inline int runFlavorFigure(Flavor F, const char *FigureName,
   for (const WorkloadProfile &Profile : Subjects)
     Programs.push_back(generateWorkload(Profile));
 
+  // With --cache-dir, the introspective cells share Pass-A results through
+  // the content-addressed store: IntroA and IntroB of one subject have the
+  // same pre-analysis, and a warm rerun of the figure skips all of them.
+  // Fingerprints are computed once up front (read-only, shared by cells);
+  // each cell opens its *own* ResultCache handle over the directory so
+  // nothing mutable is shared across sweep threads or — in --supervised
+  // mode — across fork() (an inherited locked store mutex would deadlock
+  // the child).  Correctness of concurrent access lives in the store's
+  // temp-file + rename protocol, not in the handle.
+  std::vector<cache::Fingerprint> Keys;
+  if (!CacheDir.empty()) {
+    Keys.reserve(Programs.size());
+    for (const Program &Prog : Programs)
+      Keys.push_back(cache::fingerprintProgram(Prog));
+  }
+
   // Cell layout: 4 analyses per subject, insens / IntroA / IntroB / deep.
   constexpr size_t CellsPerSubject = 4;
   auto RunCell = [&](size_t Index) {
     const Program &Prog = Programs[Index / CellsPerSubject];
+    std::optional<cache::ResultCache> Cache;
+    if (!CacheDir.empty())
+      Cache.emplace(cache::ResultCache::Options{CacheDir, 0});
+    const cache::Fingerprint *Key =
+        Cache ? &Keys[Index / CellsPerSubject] : nullptr;
     switch (Index % CellsPerSubject) {
     case 0: {
       auto Insens = makeInsensitivePolicy();
       return runPlain(Prog, *Insens);
     }
     case 1:
-      return runIntro(Prog, F, HeuristicKind::A);
+      return runIntro(Prog, F, HeuristicKind::A, Cache ? &*Cache : nullptr,
+                      Key);
     case 2:
-      return runIntro(Prog, F, HeuristicKind::B);
+      return runIntro(Prog, F, HeuristicKind::B, Cache ? &*Cache : nullptr,
+                      Key);
     default: {
       auto Full = makeFlavor(F, Prog);
       return runPlain(Prog, *Full);

@@ -21,7 +21,8 @@ int main(int argc, char **argv) try {
       "scalability with lower precision gains.",
       intro::bench::sweepWorkers(argc, argv),
       intro::bench::traceFile(argc, argv),
-      intro::bench::supervisedFlag(argc, argv));
+      intro::bench::supervisedFlag(argc, argv),
+      intro::bench::cacheDirFlag(argc, argv));
 } catch (const std::exception &Error) {
   std::cerr << "internal error: " << Error.what() << "\n";
   return intro::ExitInternalError;

@@ -21,7 +21,8 @@ int main(int argc, char **argv) try {
       "completes, IntroB matches its full precision on every metric.",
       intro::bench::sweepWorkers(argc, argv),
       intro::bench::traceFile(argc, argv),
-      intro::bench::supervisedFlag(argc, argv));
+      intro::bench::supervisedFlag(argc, argv),
+      intro::bench::cacheDirFlag(argc, argv));
 } catch (const std::exception &Error) {
   std::cerr << "internal error: " << Error.what() << "\n";
   return intro::ExitInternalError;

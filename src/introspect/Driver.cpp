@@ -6,6 +6,7 @@
 
 #include "introspect/Driver.h"
 
+#include "cache/ResultCache.h"
 #include "ir/Program.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
@@ -19,8 +20,24 @@ intro::runIntrospective(const Program &Prog,
   IntrospectiveOutcome Out;
   auto Insensitive = makeInsensitivePolicy();
 
+  // The cache is bypassed while faults are armed: a warm entry would mask
+  // the injected first-pass failure the test is trying to provoke.
+  bool UseCache = Options.Cache && Options.CacheKey &&
+                  !Options.FirstPassFaults.armed();
+  bool CacheHit = false;
+  if (UseCache) {
+    Timer Clock;
+    cache::CachedPassA Entry;
+    if (Options.Cache->lookup(*Options.CacheKey, Entry)) {
+      Out.FirstPass = std::move(Entry.Insens);
+      Out.Metrics = std::move(Entry.Metrics);
+      Out.FirstPassSeconds = Clock.seconds();
+      CacheHit = true;
+    }
+  }
+
   // Pass 1: context-insensitive, with SITETOREFINE/OBJECTTOREFINE empty.
-  {
+  if (!CacheHit) {
     TRACE_SPAN("introspect.first_pass");
     Timer Clock;
     ContextTable Table;
@@ -36,7 +53,8 @@ intro::runIntrospective(const Program &Prog,
   {
     TRACE_SPAN("introspect.metrics");
     Timer Clock;
-    Out.Metrics = computeIntrospectionMetrics(Prog, Out.FirstPass);
+    if (!CacheHit)
+      Out.Metrics = computeIntrospectionMetrics(Prog, Out.FirstPass);
     Out.Exceptions =
         Options.Heuristic == HeuristicKind::A
             ? applyHeuristicA(Prog, Out.FirstPass, Out.Metrics,
@@ -45,6 +63,15 @@ intro::runIntrospective(const Program &Prog,
                               Options.ParamsB);
     Out.Stats = computeRefinementStats(Prog, Out.FirstPass, Out.Exceptions);
     Out.MetricSeconds = Clock.seconds();
+  }
+
+  // Only a completed pre-analysis is worth replaying; budget-exhausted or
+  // cancelled runs stay uncached so a retry with more headroom re-solves.
+  if (UseCache && !CacheHit && isCompleted(Out.FirstPass.Status)) {
+    cache::CachedPassA Entry;
+    Entry.Insens = Out.FirstPass;
+    Entry.Metrics = Out.Metrics;
+    Options.Cache->store(*Options.CacheKey, Entry);
   }
 
   // Pass 2: identical analysis code, refinement exceptions installed.

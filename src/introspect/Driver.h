@@ -29,6 +29,11 @@
 
 namespace intro {
 
+namespace cache {
+class ResultCache;
+struct Fingerprint;
+} // namespace cache
+
 /// Options for an introspective run.
 struct IntrospectiveOptions {
   HeuristicKind Heuristic = HeuristicKind::A;
@@ -44,6 +49,16 @@ struct IntrospectiveOptions {
   /// Deterministic fault injection per pass (tests only; inert by default).
   FaultPlan FirstPassFaults;
   FaultPlan SecondPassFaults;
+  /// Optional content-addressed Pass-A store (runtime-only, like Cancel:
+  /// never serialized with options).  When both Cache and CacheKey are
+  /// set, the first pass probes the cache — a hit restores the stored
+  /// result and metrics without solving; a completed miss is stored for
+  /// the next run.  CacheKey must be fingerprintProgram(Prog) of the
+  /// program being analyzed, and both pointers must outlive the run.
+  /// Ignored while FirstPassFaults is armed, so fault injection is never
+  /// masked by a warm cache.
+  cache::ResultCache *Cache = nullptr;
+  const cache::Fingerprint *CacheKey = nullptr;
 };
 
 /// Everything an introspective run produces.

@@ -7,6 +7,7 @@
 #include "introspect/Resilient.h"
 
 #include "analysis/Reports.h"
+#include "cache/ResultCache.h"
 #include "ir/Program.h"
 #include "support/Json.h"
 #include "support/TableWriter.h"
@@ -130,9 +131,35 @@ public:
       return seal(Total);
 
     // The insensitive pre-analysis: needed by every introspective rung and
-    // simultaneously the ladder's last resort.  Run it once, up front.
-    PointsToResult FirstPass = attempt(DegradationLevel::Insensitive,
-                                       *Insensitive, Options.FirstPassBudget);
+    // simultaneously the ladder's last resort.  Run it once, up front —
+    // or reload it (with its metrics) from the Pass-A cache.  The cache is
+    // bypassed while the Insensitive fault plan is armed: a warm entry
+    // would mask the failure the plan is injecting.
+    bool UseCache = Options.Cache && Options.CacheKey &&
+                    !Options.faultsFor(DegradationLevel::Insensitive).armed();
+    bool CacheHit = false;
+    PointsToResult FirstPass;
+    if (UseCache) {
+      cache::CachedPassA Entry;
+      Timer LoadClock;
+      if (Options.Cache->lookup(*Options.CacheKey, Entry)) {
+        // The rung still "starts" (and instantly completes): supervision
+        // learns via OnRungStart that the pre-analysis is underway, and
+        // the trace row carries the *stored* solver stats so its
+        // deterministic columns match a cold run's.
+        if (Options.OnRungStart)
+          Options.OnRungStart(DegradationLevel::Insensitive, 0);
+        FirstPass = std::move(Entry.Insens);
+        Out.Metrics = std::move(Entry.Metrics);
+        Out.Trace.push_back({DegradationLevel::Insensitive,
+                             FirstPass.AnalysisName, FirstPass.Status,
+                             FirstPass.Stats, LoadClock.seconds(), 0});
+        CacheHit = true;
+      }
+    }
+    if (!CacheHit)
+      FirstPass = attempt(DegradationLevel::Insensitive, *Insensitive,
+                          Options.FirstPassBudget);
     if (!isCompleted(FirstPass.Status)) {
       // Nothing cheaper exists: return the partial insensitive result.
       Out.Cancelled = FirstPass.Status == SolveStatus::Cancelled;
@@ -142,9 +169,17 @@ public:
     }
 
     // Introspective rungs share the metrics of the first pass.
-    Timer MetricClock;
-    Out.Metrics = computeIntrospectionMetrics(Prog, FirstPass);
-    Out.MetricSeconds = MetricClock.seconds();
+    if (!CacheHit) {
+      Timer MetricClock;
+      Out.Metrics = computeIntrospectionMetrics(Prog, FirstPass);
+      Out.MetricSeconds = MetricClock.seconds();
+      if (UseCache) {
+        cache::CachedPassA Entry;
+        Entry.Insens = FirstPass;
+        Entry.Metrics = Out.Metrics;
+        Options.Cache->store(*Options.CacheKey, Entry);
+      }
+    }
 
     if (Options.AttemptIntroB &&
         introAttempt(DegradationLevel::IntroB, "-IntroB",
@@ -320,8 +355,34 @@ private:
     if (Options.AttemptDeep)
       Deep = &launch(Pool, DegradationLevel::Deep, Refined,
                      Options.DeepBudget);
-    PortfolioRung &First = launch(Pool, DegradationLevel::Insensitive,
-                                  Insensitive, Options.FirstPassBudget);
+
+    // The Pass-A cache short-circuits the pre-analysis rung: a hit becomes
+    // a pre-harvested rung (stored stats in its trace row, load time as
+    // its Seconds) and the introspective rungs launch immediately.  Same
+    // fault-plan bypass as the sequential walk.
+    bool UseCache = Options.Cache && Options.CacheKey &&
+                    !Options.faultsFor(DegradationLevel::Insensitive).armed();
+    bool CacheHit = false;
+    PortfolioRung *FirstPtr = nullptr;
+    if (UseCache) {
+      cache::CachedPassA Entry;
+      Timer LoadClock;
+      if (Options.Cache->lookup(*Options.CacheKey, Entry)) {
+        Rungs.emplace_back();
+        PortfolioRung &Loaded = Rungs.back();
+        Loaded.Level = DegradationLevel::Insensitive;
+        Loaded.Result = std::move(Entry.Insens);
+        Loaded.Seconds = LoadClock.seconds();
+        Loaded.Harvested = true;
+        Out.Metrics = std::move(Entry.Metrics);
+        FirstPtr = &Loaded;
+        CacheHit = true;
+      }
+    }
+    if (!FirstPtr)
+      FirstPtr = &launch(Pool, DegradationLevel::Insensitive, Insensitive,
+                         Options.FirstPassBudget);
+    PortfolioRung &First = *FirstPtr;
 
     // The pre-analysis gates every introspective rung; the deep attempt
     // races on while we wait for it.
@@ -330,16 +391,24 @@ private:
 
     std::vector<PortfolioRung *> IntroRungs;
     if (FirstOk) {
-      Timer MetricClock;
-      {
-        // A dedicated pool: the main pool's workers may all be busy with
-        // solver runs, and metric shards must not queue behind a deep
-        // attempt that has minutes of budget left.
-        ThreadPool MetricPool(Workers);
-        Out.Metrics =
-            computeIntrospectionMetrics(Prog, First.Result, MetricPool);
+      if (!CacheHit) {
+        Timer MetricClock;
+        {
+          // A dedicated pool: the main pool's workers may all be busy with
+          // solver runs, and metric shards must not queue behind a deep
+          // attempt that has minutes of budget left.
+          ThreadPool MetricPool(Workers);
+          Out.Metrics =
+              computeIntrospectionMetrics(Prog, First.Result, MetricPool);
+        }
+        Out.MetricSeconds = MetricClock.seconds();
+        if (UseCache) {
+          cache::CachedPassA Entry;
+          Entry.Insens = First.Result;
+          Entry.Metrics = Out.Metrics;
+          Options.Cache->store(*Options.CacheKey, Entry);
+        }
       }
-      Out.MetricSeconds = MetricClock.seconds();
 
       if (Options.AttemptIntroB)
         IntroRungs.push_back(&launchIntro(

@@ -158,6 +158,21 @@ struct ResilientOptions {
   /// computation).  0 means one per hardware thread.
   unsigned Workers = 0;
 
+  /// Optional content-addressed Pass-A store (runtime-only, like Cancel
+  /// and OnRungStart: never serialized by writeResilientOptionsJson; a
+  /// supervisor re-creates it in the child from its own --cache-dir).
+  /// When both Cache and CacheKey are set, the insensitive pre-analysis
+  /// probes the cache: a hit restores the stored result and metrics —
+  /// every introspective rung then shares the cached Pass A, and an
+  /// escalateBelow relaunch reloads instead of re-solving — while a
+  /// completed miss is stored for the next run.  The trace row of a
+  /// cache-served pre-analysis carries the *stored* solver stats, so the
+  /// deterministic report columns are identical to a cold run's.  The
+  /// cache is bypassed while the Insensitive fault plan is armed, so
+  /// fault injection is never masked by a warm entry.
+  cache::ResultCache *Cache = nullptr;
+  const cache::Fingerprint *CacheKey = nullptr;
+
   /// Deterministic fault injection, indexed by DegradationLevel (tests
   /// only; inert by default).  The Insensitive entry applies to the
   /// pre-analysis run.  The TightenedIntroA entry applies to every

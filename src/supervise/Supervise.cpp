@@ -22,7 +22,10 @@
 #include <cstring>
 #include <future>
 #include <new>
+#include <optional>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 #include <unistd.h>
 
@@ -82,6 +85,29 @@ double intro::supervise::plannedBackoffMs(const RetryPolicy &Policy,
       std::pow(Policy.Multiplier, static_cast<double>(Attempt) - 2.0);
   Delay *= 1.0 + Policy.JitterFraction * (2.0 * Unit - 1.0);
   return Delay < 0 ? 0 : Delay;
+}
+
+void intro::supervise::disambiguateJobNames(std::vector<JobSpec> &Jobs) {
+  std::unordered_set<std::string> Taken;
+  for (const JobSpec &Job : Jobs)
+    Taken.insert(Job.Name);
+  std::unordered_map<std::string, uint32_t> NextSuffix;
+  std::unordered_set<std::string> Seen;
+  for (JobSpec &Job : Jobs) {
+    if (Seen.insert(Job.Name).second)
+      continue;
+    // Later duplicate: append the smallest ".N" (N >= 2) that collides
+    // with neither an original name nor an already-assigned one.
+    uint32_t &Suffix = NextSuffix[Job.Name];
+    if (Suffix < 2)
+      Suffix = 2;
+    std::string Candidate;
+    do {
+      Candidate = Job.Name + "." + std::to_string(Suffix++);
+    } while (Taken.count(Candidate) || Seen.count(Candidate));
+    Job.Name = std::move(Candidate);
+    Seen.insert(Job.Name);
+  }
 }
 
 void intro::supervise::escalateBelow(ResilientOptions &Options,
@@ -160,12 +186,38 @@ void maybeFireChaos(const ChaosPlan &Chaos, DegradationLevel Level,
   }
 }
 
+/// Writes one CacheStats snapshot as a JSON object.
+void writeCacheStatsJson(JsonWriter &J, const cache::CacheStats &Stats) {
+  J.beginObject();
+  J.key("probes");
+  J.value(Stats.Probes);
+  J.key("hits");
+  J.value(Stats.Hits);
+  J.key("misses");
+  J.value(Stats.Misses);
+  J.key("corrupt_entries");
+  J.value(Stats.CorruptEntries);
+  J.key("stores");
+  J.value(Stats.Stores);
+  J.key("store_failures");
+  J.value(Stats.StoreFailures);
+  J.key("evictions");
+  J.value(Stats.Evictions);
+  J.endObject();
+}
+
 /// Writes the child's final `intro-run-report-v1` line.  \p Outcome may be
-/// null (bad-input reports carry diagnostics instead).
+/// null (bad-input reports carry diagnostics instead).  \p Cache (when the
+/// child ran with a Pass-A cache) contributes a top-level "cache" object —
+/// a sibling of "deterministic", not part of it: the counters are
+/// deterministic for a given starting cache state but necessarily differ
+/// between a cold and a warm run, and "deterministic" is the section whose
+/// bytes must not.
 void writeChildReport(std::ostream &Report, const JobSpec &Job,
                       uint32_t Attempt, const ResilientOptions &Ladder,
                       const ResilientOutcome *Outcome,
-                      const std::vector<std::string> &InputErrors) {
+                      const std::vector<std::string> &InputErrors,
+                      const cache::ResultCache *Cache = nullptr) {
   JsonWriter J(Report);
   J.beginObject();
   J.key("schema");
@@ -190,6 +242,10 @@ void writeChildReport(std::ostream &Report, const JobSpec &Job,
     writeResilientOutcomeJson(J, *Outcome);
   }
   J.endObject();
+  if (Cache) {
+    J.key("cache");
+    writeCacheStatsJson(J, Cache->stats());
+  }
   J.key("timing");
   J.beginObject();
   J.key("total_seconds");
@@ -205,7 +261,8 @@ void writeChildReport(std::ostream &Report, const JobSpec &Job,
 /// sandbox — then the sequential degradation ladder runs with per-rung
 /// progress streaming.
 int childAnalyze(const JobSpec &Job, const ResilientOptions &BaseLadder,
-                 uint32_t Attempt, std::ostream &Report) {
+                 uint32_t Attempt, std::ostream &Report,
+                 const std::string &CacheDir, uint64_t CacheMaxEntries) {
   ParseResult Parsed = parseProgram(Job.Source);
   std::vector<std::string> InputErrors = std::move(Parsed.Errors);
   if (InputErrors.empty())
@@ -216,6 +273,19 @@ int childAnalyze(const JobSpec &Job, const ResilientOptions &BaseLadder,
   }
 
   ResilientOptions Ladder = BaseLadder;
+
+  // The child owns its cache handle: the parent's pointers cannot cross
+  // the fork, and the shared directory is the actual cross-process state.
+  // A retried or escalateBelow-relaunched child probes the same directory
+  // its predecessor stored into, and reloads Pass A instead of re-solving.
+  std::optional<cache::ResultCache> Cache;
+  cache::Fingerprint CacheKey;
+  if (!CacheDir.empty()) {
+    Cache.emplace(cache::ResultCache::Options{CacheDir, CacheMaxEntries});
+    CacheKey = cache::fingerprintProgram(Parsed.Prog);
+    Ladder.Cache = &*Cache;
+    Ladder.CacheKey = &CacheKey;
+  }
   Ladder.OnRungStart = [&](DegradationLevel Level, uint32_t Round) {
     JsonWriter J(Report);
     J.beginObject();
@@ -248,7 +318,8 @@ int childAnalyze(const JobSpec &Job, const ResilientOptions &BaseLadder,
     return ExitSuccess;
   }
 
-  writeChildReport(Report, Job, Attempt, Ladder, &Outcome, {});
+  writeChildReport(Report, Job, Attempt, Ladder, &Outcome, {},
+                   Cache ? &*Cache : nullptr);
   return Outcome.completed() ? ExitSuccess : ExitAnalysisFailure;
 }
 
@@ -268,6 +339,8 @@ struct ChildTranscript {
   std::string Level;
   std::string Status;
   bool Completed = false;
+  bool CacheEnabled = false;
+  cache::CacheStats Cache;
 };
 
 /// Decodes the JSONL transcript: rung_start progress events (emission
@@ -338,6 +411,16 @@ ChildTranscript decodeTranscript(const std::string &Output) {
         }
       }
     }
+    if (const JsonValue *Cache = Doc.get("cache"); Cache && Cache->isObject()) {
+      T.CacheEnabled = true;
+      Cache->getUint("probes", T.Cache.Probes);
+      Cache->getUint("hits", T.Cache.Hits);
+      Cache->getUint("misses", T.Cache.Misses);
+      Cache->getUint("corrupt_entries", T.Cache.CorruptEntries);
+      Cache->getUint("stores", T.Cache.Stores);
+      Cache->getUint("store_failures", T.Cache.StoreFailures);
+      Cache->getUint("evictions", T.Cache.Evictions);
+    }
     T.HasReport = true;
     T.ReportError.clear();
   }
@@ -383,6 +466,10 @@ ResilientOptions sanitizeLadder(const ResilientOptions &Ladder) {
   Clean.Workers = 1;
   Clean.Cancel = nullptr;
   Clean.OnRungStart = nullptr;
+  // Cache pointers are per-process: the child opens its own ResultCache
+  // over BatchOptions::CacheDir instead of inheriting the parent's handle.
+  Clean.Cache = nullptr;
+  Clean.CacheKey = nullptr;
   return Clean;
 }
 
@@ -397,8 +484,9 @@ JobResult intro::supervise::runSupervisedJob(const JobSpec &Job,
 
   for (uint32_t Attempt = 1;; ++Attempt) {
     ChildResult Child = runSupervisedChild(
-        Options.Limits, [&Job, &Ladder, Attempt](std::ostream &Report) {
-          return childAnalyze(Job, Ladder, Attempt, Report);
+        Options.Limits, [&Job, &Ladder, &Options, Attempt](std::ostream &R) {
+          return childAnalyze(Job, Ladder, Attempt, R, Options.CacheDir,
+                              Options.CacheMaxEntries);
         });
     ChildTranscript Transcript = decodeTranscript(Child.Output);
 
@@ -412,6 +500,8 @@ JobResult intro::supervise::runSupervisedJob(const JobSpec &Job,
     Record.DeepestStartedRound = Transcript.DeepestStartedRound;
     Record.ReportError = Transcript.ReportError;
     Record.Ladder = std::move(Transcript.Ladder);
+    Record.CacheEnabled = Transcript.CacheEnabled;
+    Record.Cache = Transcript.Cache;
     Record.Seconds = Child.Seconds;
 
     bool Retry = isRetryable(Record.Class) &&
@@ -626,6 +716,45 @@ void intro::supervise::writeBatchReportJson(JsonWriter &J,
   J.value(Retries);
   J.endObject();
   J.endObject();
+
+  // Pass-A cache accounting.  Deterministic for a given starting cache
+  // state, but a warm run's counts necessarily differ from a cold run's —
+  // which is why this is a sibling of "deterministic", not part of it.
+  J.key("cache");
+  J.beginObject();
+  J.key("enabled");
+  J.value(!Options.CacheDir.empty());
+  cache::CacheStats Totals;
+  J.key("jobs");
+  J.beginArray();
+  for (const JobResult &Job : Batch.Jobs) {
+    J.beginObject();
+    J.key("name");
+    J.value(Job.Name);
+    J.key("attempts");
+    J.beginArray();
+    for (const JobAttempt &A : Job.Attempts) {
+      if (!A.CacheEnabled) {
+        J.null(); // Hard death / bad report: no cache counters came back.
+        continue;
+      }
+      Totals.Probes += A.Cache.Probes;
+      Totals.Hits += A.Cache.Hits;
+      Totals.Misses += A.Cache.Misses;
+      Totals.CorruptEntries += A.Cache.CorruptEntries;
+      Totals.Stores += A.Cache.Stores;
+      Totals.StoreFailures += A.Cache.StoreFailures;
+      Totals.Evictions += A.Cache.Evictions;
+      writeCacheStatsJson(J, A.Cache);
+    }
+    J.endArray();
+    J.endObject();
+  }
+  J.endArray();
+  J.key("totals");
+  writeCacheStatsJson(J, Totals);
+  J.endObject();
+
   J.key("timing");
   J.beginObject();
   J.key("total_seconds");

@@ -42,6 +42,7 @@
 #ifndef SUPERVISE_SUPERVISE_H
 #define SUPERVISE_SUPERVISE_H
 
+#include "cache/ResultCache.h"
 #include "introspect/Resilient.h"
 #include "support/Subprocess.h"
 
@@ -104,6 +105,14 @@ struct JobSpec {
   ChaosPlan Chaos;    ///< Injected process-level fault (tests/smoke only).
 };
 
+/// Makes every JobSpec name unique, in place, preserving order: the second
+/// job named "app" becomes "app.2", the third "app.3", and so on; suffixed
+/// names that would collide with a *later* literal name keep counting up.
+/// Names are report keys and quarantine file stems — two inputs from
+/// different directories sharing a basename must not overwrite each
+/// other's quarantine copy or alias each other in the report.
+void disambiguateJobNames(std::vector<JobSpec> &Jobs);
+
 /// Retry/backoff policy.  Delays are planned deterministically from (Seed,
 /// job index, attempt) via the repo's xorshift Rng, so the planned schedule
 /// is part of the deterministic report even though actual sleeping is not.
@@ -144,6 +153,10 @@ struct JobAttempt {
   double PlannedDelayMs = 0;
   /// Child ladder history decoded from the report (empty on hard deaths).
   AttemptTrace Ladder;
+  /// True when the child ran with a Pass-A cache (BatchOptions::CacheDir);
+  /// Cache then holds the child's cache counters decoded from its report.
+  bool CacheEnabled = false;
+  cache::CacheStats Cache;
   double Seconds = 0; ///< Wall clock of the attempt (timing-only).
 };
 
@@ -177,6 +190,14 @@ struct BatchOptions {
   /// the deterministic report does not depend on retry timing.  Null means
   /// actually sleep.
   std::function<void(double Ms)> SleepMs;
+  /// Pass-A cache directory, shared across jobs and retries.  Empty
+  /// disables caching.  Each child opens its own ResultCache over this
+  /// directory (pointers cannot cross the fork), so a retried or
+  /// escalateBelow-relaunched child reloads the pre-analysis its
+  /// predecessor stored instead of re-solving it.
+  std::string CacheDir;
+  /// ResultCache::Options::MaxEntries for the shared directory (0 = no cap).
+  uint64_t CacheMaxEntries = 0;
 };
 
 /// The outcome of a whole batch.
@@ -197,8 +218,13 @@ BatchResult runSupervisedBatch(const std::vector<JobSpec> &Jobs,
 
 /// Writes the `intro-batch-report-v1` document: a "deterministic" object
 /// (policy, limits, ladder options, per-job classes / attempts / planned
-/// delays / rung progressions / deterministic solver counters, totals) and
-/// a "timing" object (every wall-clock value).
+/// delays / rung progressions / deterministic solver counters, totals), a
+/// "cache" object (per-job and total probe/hit/miss/store/evict counters
+/// when BatchOptions::CacheDir is set — deterministic for a given starting
+/// cache state, but by construction different between a cold and a warm
+/// run, so it lives *outside* the "deterministic" section whose bytes are
+/// the cold-vs-warm identity contract), and a "timing" object (every
+/// wall-clock value).
 void writeBatchReportJson(JsonWriter &J, const BatchResult &Batch,
                           const BatchOptions &Options);
 

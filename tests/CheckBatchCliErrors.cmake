@@ -1,0 +1,54 @@
+# Tool-level CLI contract for intro_batch: every malformed numeric flag
+# must exit with code 2 (ExitBadInput) and print a diagnostic that names
+# the offending flag.  Before the strict parser, `--seed=x` escaped
+# std::stoul as std::invalid_argument and surfaced as exit 3 ("internal
+# error"), and out-of-range values were silently truncated.
+#
+# Run as: cmake -DINTRO_BATCH=<path> -P CheckBatchCliErrors.cmake
+
+if(NOT DEFINED INTRO_BATCH)
+  message(FATAL_ERROR "pass -DINTRO_BATCH=<path to intro_batch>")
+endif()
+
+set(FAILURES 0)
+
+# check_rejects(<flag-with-value> <expected-stderr-substring>)
+function(check_rejects ARG EXPECT)
+  execute_process(
+    COMMAND ${INTRO_BATCH} ${ARG} nonexistent.intro
+    RESULT_VARIABLE CODE
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR)
+  if(NOT CODE EQUAL 2)
+    message(SEND_ERROR "${ARG}: expected exit 2 (bad input), got ${CODE}\n"
+                       "stderr: ${ERR}")
+  endif()
+  string(FIND "${ERR}" "${EXPECT}" POS)
+  if(POS EQUAL -1)
+    message(SEND_ERROR "${ARG}: stderr does not name the flag\n"
+                       "expected substring: ${EXPECT}\nstderr: ${ERR}")
+  endif()
+endfunction()
+
+# Garbage values: must be diagnosed, not escape as an exception (exit 3).
+check_rejects(--max-attempts=x "--max-attempts")
+check_rejects(--seed=12q       "--seed")
+check_rejects(--deadline=nan   "--deadline")
+check_rejects(--workers=       "--workers")
+
+# Out-of-range / overflow: must be rejected, not silently truncated.
+check_rejects(--max-attempts=0           "--max-attempts")
+check_rejects(--workers=4294967296       "--workers")
+check_rejects(--seed=18446744073709551616 "--seed")
+
+# --mem-limit=0 means "no address space at all", not "no limit": rejected.
+check_rejects(--mem-limit=0 "--mem-limit")
+
+# Unknown flags still fail fast.
+execute_process(
+  COMMAND ${INTRO_BATCH} --retries=3 nonexistent.intro
+  RESULT_VARIABLE CODE
+  ERROR_VARIABLE ERR)
+if(NOT CODE EQUAL 2)
+  message(SEND_ERROR "unknown flag: expected exit 2, got ${CODE}")
+endif()

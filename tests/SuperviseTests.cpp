@@ -27,6 +27,7 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <set>
 #include <sstream>
 #include <string>
 #include <sys/wait.h>
@@ -817,4 +818,60 @@ TEST(JsonReader, NestingBeyondTheDepthCapIsRejected) {
   // A legal document within the cap still parses.
   std::string Ok = std::string(64, '[') + std::string(64, ']');
   EXPECT_TRUE(parseJson(Ok).ok());
+}
+
+// --- Job-name disambiguation -------------------------------------------------
+
+TEST(JobNames, UniqueNamesAreLeftAlone) {
+  std::vector<JobSpec> Jobs;
+  for (const char *Name : {"alpha", "beta", "gamma"})
+    Jobs.push_back(tinyJob(Name));
+  disambiguateJobNames(Jobs);
+  EXPECT_EQ(Jobs[0].Name, "alpha");
+  EXPECT_EQ(Jobs[1].Name, "beta");
+  EXPECT_EQ(Jobs[2].Name, "gamma");
+}
+
+TEST(JobNames, BasenameCollisionsGetOrderedSuffixes) {
+  // Two inputs from different directories sharing a basename used to
+  // collide: one quarantine copy silently overwrote the other.  The later
+  // duplicates get ".2", ".3", ... in input order; the first keeps the
+  // plain name.
+  std::vector<JobSpec> Jobs;
+  for (const char *Name : {"app", "lib", "app", "app"})
+    Jobs.push_back(tinyJob(Name));
+  disambiguateJobNames(Jobs);
+  EXPECT_EQ(Jobs[0].Name, "app");
+  EXPECT_EQ(Jobs[1].Name, "lib");
+  EXPECT_EQ(Jobs[2].Name, "app.2");
+  EXPECT_EQ(Jobs[3].Name, "app.3");
+}
+
+TEST(JobNames, SuffixesSkipLiteralNamesAlreadyTaken) {
+  // A literal input named "app.2" must not be aliased by a generated
+  // suffix, no matter where it appears in the input order.
+  std::vector<JobSpec> Jobs;
+  for (const char *Name : {"app", "app", "app.2", "app"})
+    Jobs.push_back(tinyJob(Name));
+  disambiguateJobNames(Jobs);
+  EXPECT_EQ(Jobs[0].Name, "app");
+  EXPECT_EQ(Jobs[1].Name, "app.3") << "app.2 is taken by a literal input";
+  EXPECT_EQ(Jobs[2].Name, "app.2");
+  EXPECT_EQ(Jobs[3].Name, "app.4");
+  std::set<std::string> Unique;
+  for (const JobSpec &Job : Jobs)
+    Unique.insert(Job.Name);
+  EXPECT_EQ(Unique.size(), Jobs.size());
+}
+
+TEST(JobNames, DisambiguationIsDeterministic) {
+  std::vector<JobSpec> A, B;
+  for (const char *Name : {"x", "x", "x.2", "y", "x", "y"}) {
+    A.push_back(tinyJob(Name));
+    B.push_back(tinyJob(Name));
+  }
+  disambiguateJobNames(A);
+  disambiguateJobNames(B);
+  for (size_t Index = 0; Index < A.size(); ++Index)
+    EXPECT_EQ(A[Index].Name, B[Index].Name);
 }

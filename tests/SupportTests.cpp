@@ -6,6 +6,7 @@
 
 #include "support/Ids.h"
 #include "support/Overflow.h"
+#include "support/ParseNum.h"
 #include "support/Rng.h"
 #include "support/SetUtils.h"
 #include "support/StringInterner.h"
@@ -247,4 +248,83 @@ TEST(Overflow, SaturatingAdd) {
   EXPECT_EQ(saturatingAdd(std::numeric_limits<uint64_t>::max(),
                           std::numeric_limits<uint64_t>::max()),
             std::numeric_limits<uint64_t>::max());
+}
+
+// --- Strict numeric CLI parsing (support/ParseNum.h) -------------------------
+
+TEST(ParseNum, AcceptsPlainDecimals) {
+  uint64_t U64 = 0;
+  uint32_t U32 = 0;
+  double F64 = 0;
+  std::string Error;
+  EXPECT_TRUE(parseU64("--seed", "0", 0, 10, U64, Error));
+  EXPECT_EQ(U64, 0u);
+  EXPECT_TRUE(parseU64("--seed", "18446744073709551615", 0,
+                       std::numeric_limits<uint64_t>::max(), U64, Error));
+  EXPECT_EQ(U64, std::numeric_limits<uint64_t>::max());
+  EXPECT_TRUE(parseU32("--workers", "4294967295", 0,
+                       std::numeric_limits<uint32_t>::max(), U32, Error));
+  EXPECT_EQ(U32, std::numeric_limits<uint32_t>::max());
+  EXPECT_TRUE(parseF64("--deadline", "1.5", 0, 10, F64, Error));
+  EXPECT_EQ(F64, 1.5);
+  EXPECT_TRUE(Error.empty());
+}
+
+TEST(ParseNum, RejectsGarbageWithANamedFlagDiagnostic) {
+  // `--retries=x` must produce a named-flag error, not escape as
+  // std::invalid_argument (which an outer try/catch misreports as an
+  // internal error, exit 3 instead of exit 2).
+  uint64_t Out = 7;
+  std::string Error;
+  EXPECT_FALSE(parseU64("--retries", "x", 0, 100, Out, Error));
+  EXPECT_NE(Error.find("--retries"), std::string::npos);
+  EXPECT_NE(Error.find("'x'"), std::string::npos);
+  EXPECT_EQ(Out, 7u) << "output must be untouched on failure";
+}
+
+TEST(ParseNum, RejectsWhatStoulWouldAccept) {
+  // Every one of these passes std::stoul but is not a flag value a user
+  // meant: signs, whitespace, trailing garbage, hex.
+  uint64_t Out = 0;
+  std::string Error;
+  for (const char *Bad : {"", "-1", "+1", " 1", "1 ", "12x", "0x10", "1.0"})
+    EXPECT_FALSE(parseU64("--n", Bad, 0, 1000, Out, Error)) << Bad;
+}
+
+TEST(ParseNum, RejectsSixtyFourBitOverflowInsteadOfWrapping) {
+  uint64_t Out = 0;
+  std::string Error;
+  EXPECT_FALSE(parseU64("--seed", "18446744073709551616", 0,
+                        std::numeric_limits<uint64_t>::max(), Out, Error));
+  EXPECT_NE(Error.find("64 bits"), std::string::npos);
+}
+
+TEST(ParseNum, U32RejectsValuesAboveTheCallersRange) {
+  // On LP64, std::stoul happily parses 2^32 and a later static_cast
+  // truncates it to 0; the checked parse must reject it instead.
+  uint32_t Out = 0;
+  std::string Error;
+  EXPECT_FALSE(parseU32("--workers", "4294967296", 1,
+                        std::numeric_limits<uint32_t>::max(), Out, Error));
+  EXPECT_NE(Error.find("--workers"), std::string::npos);
+}
+
+TEST(ParseNum, EnforcesTheInclusiveRange) {
+  uint64_t Out = 0;
+  std::string Error;
+  EXPECT_FALSE(parseU64("--max-attempts", "0", 1, 10, Out, Error));
+  EXPECT_NE(Error.find("[1, 10]"), std::string::npos);
+  EXPECT_TRUE(parseU64("--max-attempts", "1", 1, 10, Out, Error));
+  EXPECT_TRUE(parseU64("--max-attempts", "10", 1, 10, Out, Error));
+  EXPECT_FALSE(parseU64("--max-attempts", "11", 1, 10, Out, Error));
+}
+
+TEST(ParseNum, F64RejectsNonPlainDecimals) {
+  double Out = 0;
+  std::string Error;
+  for (const char *Bad : {"", "inf", "nan", "1e5", "-1.0", " 1.0", "1.0.0",
+                          "0x1p3"})
+    EXPECT_FALSE(parseF64("--deadline", Bad, 0, 1e9, Out, Error)) << Bad;
+  EXPECT_FALSE(parseF64("--deadline", "10.1", 0, 10, Out, Error));
+  EXPECT_NE(Error.find("--deadline"), std::string::npos);
 }

@@ -19,9 +19,15 @@
 ///   --max-attempts=N     attempts per job before quarantine (default 3)
 ///   --deadline=SECONDS   per-child wall watchdog (default 60)
 ///   --cpu-limit=SECONDS  per-child RLIMIT_CPU (default 0 = off)
-///   --mem-limit=MB       per-child RLIMIT_AS (default 0 = off)
+///   --mem-limit=MB       per-child RLIMIT_AS (default 0 = off; huge
+///                        values saturate instead of wrapping)
 ///   --seed=N             retry-jitter seed (default 0x5eed)
 ///   --workers=N          supervisor threads (default 1)
+///   --cache-dir=DIR      content-addressed Pass-A cache shared across
+///                        jobs, retries, and repeated runs
+///   --cache-max-entries=N  cap on cached entries (default 0 = no cap)
+///   --no-deep            skip the deep ladder rung (start at the
+///                        introspective rungs, which use the cache)
 ///   --chaos=SPEC@NAME    inject a process-level fault into job NAME;
 ///                        SPEC = crash|oom|spin|exit|garbage|truncate
 ///                        [:LEVEL][:UNTIL] (smoke tests; see ChaosPlan)
@@ -36,6 +42,8 @@
 
 #include "support/ExitCodes.h"
 #include "support/Json.h"
+#include "support/Overflow.h"
+#include "support/ParseNum.h"
 #include "support/TableWriter.h"
 
 #include <algorithm>
@@ -113,11 +121,11 @@ bool parseChaosSpec(const std::string &Spec,
       !degradationLevelFromName(Parts[1], Plan.AtLevel))
     return false;
   if (Parts.size() == 3) {
-    try {
-      Plan.UntilAttempt = static_cast<uint32_t>(std::stoul(Parts[2]));
-    } catch (...) {
+    std::string Error;
+    if (!parseU32("--chaos UNTIL", Parts[2], 1,
+                  std::numeric_limits<uint32_t>::max(), Plan.UntilAttempt,
+                  Error))
       return false;
-    }
   }
   return true;
 }
@@ -125,44 +133,67 @@ bool parseChaosSpec(const std::string &Spec,
 /// Parses the command line.  \returns an exit code to bail with, or -1 to
 /// continue.
 int parseCli(int argc, char **argv, CliOptions &Cli) {
+  constexpr uint32_t U32Max = std::numeric_limits<uint32_t>::max();
+  constexpr uint64_t U64Max = std::numeric_limits<uint64_t>::max();
+  std::string Error;
   for (int Index = 1; Index < argc; ++Index) {
     std::string Arg = argv[Index];
     std::string Value;
-    try {
-      if (flagValue(Arg, "--report", Cli.ReportPath) ||
-          flagValue(Arg, "--quarantine", Cli.QuarantineDir))
-        continue;
-      if (flagValue(Arg, "--max-attempts", Value)) {
-        Cli.Batch.Retry.MaxAttempts =
-            std::max(1u, static_cast<uint32_t>(std::stoul(Value)));
-        continue;
-      }
-      if (flagValue(Arg, "--deadline", Value)) {
-        Cli.Batch.Limits.WallDeadlineSeconds = std::stod(Value);
-        continue;
-      }
-      if (flagValue(Arg, "--cpu-limit", Value)) {
-        Cli.Batch.Limits.MaxCpuSeconds =
-            static_cast<uint32_t>(std::stoul(Value));
-        continue;
-      }
-      if (flagValue(Arg, "--mem-limit", Value)) {
-        Cli.Batch.Limits.MaxAddressSpaceBytes =
-            static_cast<uint64_t>(std::stoull(Value)) << 20;
-        continue;
-      }
-      if (flagValue(Arg, "--seed", Value)) {
-        Cli.Batch.Retry.Seed = std::stoull(Value);
-        continue;
-      }
-      if (flagValue(Arg, "--workers", Value)) {
-        Cli.Batch.Workers = std::max(1u, static_cast<unsigned>(
-                                             std::stoul(Value)));
-        continue;
-      }
-    } catch (...) {
-      std::cerr << "error: bad numeric value in '" << Arg << "'\n";
-      return ExitBadInput;
+    if (flagValue(Arg, "--report", Cli.ReportPath) ||
+        flagValue(Arg, "--quarantine", Cli.QuarantineDir) ||
+        flagValue(Arg, "--cache-dir", Cli.Batch.CacheDir))
+      continue;
+    if (flagValue(Arg, "--max-attempts", Value)) {
+      if (!parseU32("--max-attempts", Value, 1, U32Max,
+                    Cli.Batch.Retry.MaxAttempts, Error))
+        break;
+      continue;
+    }
+    if (flagValue(Arg, "--deadline", Value)) {
+      if (!parseF64("--deadline", Value, 0.0, 1e9,
+                    Cli.Batch.Limits.WallDeadlineSeconds, Error))
+        break;
+      continue;
+    }
+    if (flagValue(Arg, "--cpu-limit", Value)) {
+      if (!parseU32("--cpu-limit", Value, 0, U32Max,
+                    Cli.Batch.Limits.MaxCpuSeconds, Error))
+        break;
+      continue;
+    }
+    if (flagValue(Arg, "--mem-limit", Value)) {
+      // MiB from the user, bytes to RLIMIT_AS.  A huge value must saturate
+      // rather than shift-wrap into a tiny (or zero) limit that would
+      // starve every child; 0 is rejected because RLIMIT_AS of 0 means "no
+      // address space at all", not "no limit" — unlimited is the default,
+      // spelled by omitting the flag.
+      uint64_t MiB = 0;
+      if (!parseU64("--mem-limit", Value, 1, U64Max, MiB, Error))
+        break;
+      Cli.Batch.Limits.MaxAddressSpaceBytes = saturatingMul(MiB, 1ull << 20);
+      continue;
+    }
+    if (flagValue(Arg, "--seed", Value)) {
+      if (!parseU64("--seed", Value, 0, U64Max, Cli.Batch.Retry.Seed, Error))
+        break;
+      continue;
+    }
+    if (flagValue(Arg, "--workers", Value)) {
+      uint32_t Workers = 0;
+      if (!parseU32("--workers", Value, 1, U32Max, Workers, Error))
+        break;
+      Cli.Batch.Workers = Workers;
+      continue;
+    }
+    if (flagValue(Arg, "--cache-max-entries", Value)) {
+      if (!parseU64("--cache-max-entries", Value, 0, U64Max,
+                    Cli.Batch.CacheMaxEntries, Error))
+        break;
+      continue;
+    }
+    if (Arg == "--no-deep") {
+      Cli.Batch.Ladder.AttemptDeep = false;
+      continue;
     }
     if (flagValue(Arg, "--chaos", Value)) {
       std::pair<std::string, ChaosPlan> Spec;
@@ -179,6 +210,10 @@ int parseCli(int argc, char **argv, CliOptions &Cli) {
       return ExitBadInput;
     }
     Cli.Inputs.push_back(Arg);
+  }
+  if (!Error.empty()) {
+    std::cerr << "error: " << Error << "\n";
+    return ExitBadInput;
   }
   if (Cli.Inputs.empty()) {
     std::cerr << "usage: intro_batch [options] <file.intro | directory>...\n"
@@ -229,6 +264,12 @@ int collectJobs(const CliOptions &Cli, std::vector<JobSpec> &Jobs) {
     std::cerr << "error: no .intro files found\n";
     return ExitBadInput;
   }
+  // Two inputs from different directories may share a basename; suffix the
+  // later ones (".2", ".3", ...) so report keys and quarantine file stems
+  // never collide.  Runs after the sort, so the suffix assignment — and
+  // with it the deterministic report and the quarantine listing — is
+  // independent of directory enumeration order.
+  disambiguateJobNames(Jobs);
   return -1;
 }
 
