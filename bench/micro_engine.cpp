@@ -18,6 +18,7 @@
 #include "analysis/Solver.h"
 #include "datalog/Engine.h"
 #include "introspect/Metrics.h"
+#include "ir/ProgramBuilder.h"
 #include "support/Rng.h"
 #include "support/SetUtils.h"
 #include "support/Trace.h"
@@ -26,6 +27,41 @@
 #include <benchmark/benchmark.h>
 
 using namespace intro;
+
+namespace {
+
+/// The hub-heavy flavor of the paper's bimodal inputs: \p NumSources feeder
+/// variables whose allocation-site ids interleave (round-robin allocation
+/// order), all merged into one hub variable by late copy edges, which then
+/// fans out to \p NumConsumers more late edges.  Every merge into the hub
+/// lands mid-set, and every consumer edge re-propagates the hub's full set
+/// — exactly the propagation pattern that punishes per-object insertion.
+Program hubHeavyProgram(uint32_t NumObjects, uint32_t NumSources,
+                        uint32_t NumConsumers) {
+  ProgramBuilder B;
+  TypeId Object = B.cls("Object");
+  TypeId Payload = B.cls("Payload", Object);
+  MethodBuilder Main = B.method(Object, "main", 0, /*IsStatic=*/true);
+  B.entry(Main.id());
+
+  std::vector<VarId> Sources;
+  Sources.reserve(NumSources);
+  for (uint32_t Index = 0; Index < NumSources; ++Index)
+    Sources.push_back(Main.local("s" + std::to_string(Index)));
+  // Round-robin allocation: source k owns heap ids k, k+S, k+2S, ... so the
+  // per-source sets interleave when merged.
+  for (uint32_t Index = 0; Index < NumObjects; ++Index)
+    Main.alloc(Sources[Index % NumSources], Payload);
+
+  VarId Hub = Main.local("hub");
+  for (VarId Source : Sources)
+    Main.move(Hub, Source);
+  for (uint32_t Index = 0; Index < NumConsumers; ++Index)
+    Main.move(Main.local("c" + std::to_string(Index)), Hub);
+  return B.take();
+}
+
+} // namespace
 
 static void BM_ContextInterning(benchmark::State &State) {
   for (auto _ : State) {
@@ -71,6 +107,25 @@ static void BM_Solve2objHChart(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_Solve2objHChart);
+
+// The perf-trajectory benchmark behind BENCH_solver.json: throughput of the
+// solver on the hub-heavy flavor.  The items-per-second counter is objects
+// propagated (tuples derived), the quantity the adaptive representation is
+// supposed to move faster.
+static void BM_SolveHubHeavy(benchmark::State &State) {
+  Program Prog = hubHeavyProgram(/*NumObjects=*/8192, /*NumSources=*/8,
+                                 /*NumConsumers=*/64);
+  auto Policy = makeInsensitivePolicy();
+  uint64_t Tuples = 0;
+  for (auto _ : State) {
+    ContextTable Table;
+    PointsToResult Result = solvePointsTo(Prog, *Policy, Table);
+    Tuples = Result.Stats.VarPointsToTuples;
+    benchmark::DoNotOptimize(Tuples);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Tuples) * State.iterations());
+}
+BENCHMARK(BM_SolveHubHeavy)->Unit(benchmark::kMillisecond);
 
 static void BM_DatalogTransitiveClosure(benchmark::State &State) {
   for (auto _ : State) {

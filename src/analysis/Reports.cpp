@@ -87,6 +87,12 @@ void intro::writePointsToReport(const Program &Prog,
   }
 }
 
+// Propagation diagnostics (SolverStats::BatchUnions / ElementProbes /
+// DensePointsToSets) are deliberately omitted: run reports must be
+// byte-identical between a cold solve and a cache-warm replay (where the
+// decoded stats carry zeros for fields the entry format does not store),
+// and the diagnostics describe how the fixpoint was computed, not what it
+// is.
 void intro::writeSolverStatsJson(JsonWriter &J, const SolverStats &Stats) {
   J.beginObject();
   J.key("seconds");

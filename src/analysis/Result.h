@@ -100,6 +100,16 @@ struct SolverStats {
   uint64_t CallGraphEdges = 0;      ///< Insensitive (site, target) edges.
   uint64_t WorklistPops = 0;        ///< Solver iterations.
   uint64_t ApproxBytes = 0;         ///< Book-kept solver footprint estimate.
+
+  // In-memory-only propagation diagnostics.  Deliberately EXCLUDED from the
+  // stats JSON (Reports.cpp) and the Pass-A result-cache entry encoding
+  // (ResultCache.cpp): they describe how the fixpoint was computed, not what
+  // it is, and serializing them would invalidate cache entries written by
+  // earlier builds and perturb byte-identical report sections.  On a
+  // cache-warm run they read as zero.
+  uint64_t BatchUnions = 0;    ///< Whole-delta set unions (batched edges).
+  uint64_t ElementProbes = 0;  ///< Single-element insert attempts.
+  uint64_t DensePointsToSets = 0; ///< Nodes whose Pts ended bitmap-backed.
 };
 
 /// The result of a points-to analysis run.

@@ -8,6 +8,7 @@
 
 #include "analysis/ContextPolicy.h"
 #include "ir/Program.h"
+#include "support/IdSet.h"
 #include "support/Overflow.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
@@ -31,9 +32,15 @@ uint64_t pack(uint32_t High, uint32_t Low) {
 }
 
 /// One constraint-graph node: a (var, ctx) pair or an (object, field) pair.
+///
+/// Pts and Delta are adaptive sets (support/IdSet.h): sorted vectors while
+/// small, packed bitmaps once a hub node's set grows large and dense.  The
+/// difference-propagation invariant is Delta SUBSETOF Pts: an object enters
+/// Delta exactly when it first enters Pts, and is drained (propagated to
+/// every outgoing edge) exactly once, by processNode.
 struct Node {
-  SortedIdSet Pts;    ///< All objects known to flow here.
-  SortedIdSet Delta;  ///< Subset of Pts not yet propagated (sorted).
+  IdSet Pts;          ///< All objects known to flow here.
+  IdSet Delta;        ///< Subset of Pts not yet propagated.
   SortedIdSet Succ;   ///< Subset edges: Pts flows into these nodes.
   /// Filtered (checked-cast / catch) edges, packed as (dst << 32 | type);
   /// only objects compatible with type flow across.  Sorted for dedup.
@@ -223,29 +230,70 @@ private:
     return N;
   }
 
-  /// Adds \p Object to node \p N.  \returns true if it was new.
+  /// Combined payload estimate of a node's two sets, the quantity tracked
+  /// incrementally into ApproxBytes.
+  static uint64_t setBytes(const Node &N) {
+    return N.Pts.approxBytes() + N.Delta.approxBytes();
+  }
+
+  /// Accounts growth of node \p N's set payload between \p Before and the
+  /// current setBytes.  Monotone: representation switches that *shrink* the
+  /// payload (vector -> denser bitmap) do not refund — ApproxBytes is a
+  /// cumulative high-water estimate, mirroring the original per-entry
+  /// bookkeeping, so budget trips never un-trip.
+  void accountSetGrowth(const Node &N, uint64_t Before) {
+    uint64_t After = setBytes(N);
+    if (After > Before)
+      ApproxBytes += After - Before;
+  }
+
+  /// Adds \p Object to node \p N.  \returns true if it was new.  The
+  /// single-element path — batch propagation goes through unionInto.
   bool addObjectTo(uint32_t N, uint32_t Object) {
-    if (!setInsert(Nodes[N].Pts, Object))
+    Node &Target = Nodes[N];
+    ++ElementProbes;
+    uint64_t Before = setBytes(Target);
+    if (!Target.Pts.insert(Object))
       return false;
     ++TotalTuples;
-    ApproxBytes += 2 * sizeof(uint32_t); // Pts + Delta entries.
-    setInsert(Nodes[N].Delta, Object);
+    Target.Delta.insert(Object);
+    accountSetGrowth(Target, Before);
     pushWorklist(N);
     return true;
   }
 
-  /// Adds the subset edge \p Src -> \p Dst, propagating existing objects.
+  /// Batched difference propagation: merges \p Src (an IdSet or a sorted
+  /// duplicate-free SortedIdSet) into node \p DstN in one union, records
+  /// exactly the genuinely new elements in the node's Delta, and enqueues
+  /// the node if anything changed.  One call replaces |Src| addObjectTo
+  /// probes; the worklist push happens iff the per-element loop would have
+  /// pushed, so the pop sequence (and thus every deterministic counter) is
+  /// identical to per-element propagation.
+  template <typename SrcSetT> void unionInto(uint32_t DstN, const SrcSetT &Src) {
+    Node &Dst = Nodes[DstN];
+    ++BatchUnions;
+    uint64_t Before = setBytes(Dst);
+    UnionScratch.clear();
+    if (Dst.Pts.unionWithDelta(Src, UnionScratch) == 0)
+      return;
+    TotalTuples += UnionScratch.size();
+    Dst.Delta.insertNewSorted(UnionScratch);
+    accountSetGrowth(Dst, Before);
+    pushWorklist(DstN);
+  }
+
+  /// Adds the subset edge \p Src -> \p Dst, propagating existing objects
+  /// with a single batched union (no per-object re-insertion, no snapshot
+  /// copy of the source set).
   void addEdge(uint32_t Src, uint32_t Dst) {
     if (Src == Dst)
       return; // pts(n) <= pts(n) holds trivially.
     if (!setInsert(Nodes[Src].Succ, Dst))
       return;
     ApproxBytes += sizeof(uint32_t);
-    // Propagate the full current set; snapshot it because addObjectTo may
-    // reallocate Nodes.
-    SortedIdSet Snapshot = Nodes[Src].Pts;
-    for (uint32_t Object : Snapshot)
-      addObjectTo(Dst, Object);
+    // Safe to read Nodes[Src].Pts in place: unionInto never creates nodes,
+    // so Nodes cannot reallocate under it (and Src != Dst).
+    unionInto(Dst, Nodes[Src].Pts);
   }
 
   /// \returns true if \p Object (a (heap, hctx) pair) is a subtype of
@@ -257,7 +305,8 @@ private:
 
   /// Adds a type-filtered edge \p Src -> \p Dst: \p Negated=false admits
   /// subtypes of \p FilterType (checked cast, catch), Negated=true admits
-  /// the complement (uncaught-exception propagation).
+  /// the complement (uncaught-exception propagation).  The admitted subset
+  /// is materialized once and merged with one batched union.
   void addFilteredEdge(uint32_t Src, uint32_t Dst, TypeId FilterType,
                        bool Negated = false) {
     uint64_t Packed = pack(Dst, FilterType.index());
@@ -267,14 +316,16 @@ private:
       return;
     Edges.insert(It, Packed);
     ApproxBytes += sizeof(uint64_t);
-    SortedIdSet Snapshot = Nodes[Src].Pts;
-    for (uint32_t Object : Snapshot)
+    FilterScratch.clear();
+    Nodes[Src].Pts.forEach([&](uint32_t Object) {
       if (castAdmits(Object, FilterType.index()) != Negated)
-        addObjectTo(Dst, Object);
+        FilterScratch.push_back(Object);
+    });
+    unionInto(Dst, FilterScratch);
   }
 
   void processNode(uint32_t N) {
-    SortedIdSet Delta = std::move(Nodes[N].Delta);
+    IdSet Delta = std::move(Nodes[N].Delta);
     Nodes[N].Delta.clear();
     if (Delta.empty())
       return;
@@ -282,36 +333,43 @@ private:
     // LOAD rule: to = base.fld joins FLDPOINTSTO of every new base object.
     // Snapshot the use lists: dispatching can create nodes (reallocating
     // Nodes) but never adds uses to an already-instantiated (var, ctx).
+    // These three rules are inherently per-object (each object selects a
+    // different field node or callee), so they stay element-wise.
     {
       auto LoadUses = Nodes[N].LoadUses;
       for (auto [FieldRaw, Dst] : LoadUses)
-        for (uint32_t Object : Delta)
+        Delta.forEach([&](uint32_t Object) {
           addEdge(fieldNode(Object, FieldId(FieldRaw)), Dst);
+        });
     }
     // STORE rule: base.fld = from feeds FLDPOINTSTO of every new object.
     {
       auto StoreUses = Nodes[N].StoreUses;
       for (auto [FieldRaw, Src] : StoreUses)
-        for (uint32_t Object : Delta)
+        Delta.forEach([&](uint32_t Object) {
           addEdge(Src, fieldNode(Object, FieldId(FieldRaw)));
+        });
     }
     // VCALL rule: dispatch on every new receiver object.
     {
       auto CallUses = Nodes[N].CallUses;
       uint32_t CtxRaw = Nodes[N].CtxRaw;
       for (uint32_t SiteRaw : CallUses)
-        for (uint32_t Object : Delta)
+        Delta.forEach([&](uint32_t Object) {
           dispatch(SiteId(SiteRaw), CtxId(CtxRaw), Object);
+        });
     }
-    // Copy edges (MOVE / INTERPROCASSIGN / field flow).
+    // Copy edges (MOVE / INTERPROCASSIGN / field flow): one batched union
+    // of the whole delta per edge.  Delta is a drained local, so a
+    // self-edge target can never alias it.
     {
       SortedIdSet Succ = Nodes[N].Succ; // Snapshot: edges may be added.
       for (uint32_t Dst : Succ)
-        for (uint32_t Object : Delta)
-          addObjectTo(Dst, Object);
+        unionInto(Dst, Delta);
     }
     // Type-filtered edges (checked casts, catch clauses) and their
-    // complements (uncaught-exception propagation).
+    // complements (uncaught-exception propagation): materialize the
+    // admitted subset of the delta once per edge, then one batched union.
     for (bool Negated : {false, true}) {
       const auto &Source =
           Negated ? Nodes[N].NegFilterSucc : Nodes[N].FilterSucc;
@@ -321,9 +379,12 @@ private:
       for (uint64_t Packed : Filtered) {
         uint32_t Dst = static_cast<uint32_t>(Packed >> 32);
         uint32_t FilterTypeRaw = static_cast<uint32_t>(Packed);
-        for (uint32_t Object : Delta)
+        FilterScratch.clear();
+        Delta.forEach([&](uint32_t Object) {
           if (castAdmits(Object, FilterTypeRaw) != Negated)
-            addObjectTo(Dst, Object);
+            FilterScratch.push_back(Object);
+        });
+        unionInto(Dst, FilterScratch);
       }
     }
   }
@@ -418,7 +479,7 @@ private:
         uint32_t Dst = varNode(Instr.To, Ctx);
         Nodes[Base].LoadUses.push_back({Instr.Field.index(), Dst});
         ApproxBytes += sizeof(Nodes[Base].LoadUses[0]);
-        SortedIdSet Snapshot = Nodes[Base].Pts;
+        SortedIdSet Snapshot = Nodes[Base].Pts.toVector();
         for (uint32_t Object : Snapshot)
           addEdge(fieldNode(Object, Instr.Field), Dst);
         break;
@@ -428,7 +489,7 @@ private:
         uint32_t Src = varNode(Instr.From, Ctx);
         Nodes[Base].StoreUses.push_back({Instr.Field.index(), Src});
         ApproxBytes += sizeof(Nodes[Base].StoreUses[0]);
-        SortedIdSet Snapshot = Nodes[Base].Pts;
+        SortedIdSet Snapshot = Nodes[Base].Pts.toVector();
         for (uint32_t Object : Snapshot)
           addEdge(Src, fieldNode(Object, Instr.Field));
         break;
@@ -455,7 +516,7 @@ private:
         uint32_t Base = varNode(Site.Base, Ctx);
         Nodes[Base].CallUses.push_back(Instr.Site.index());
         ApproxBytes += sizeof(uint32_t);
-        SortedIdSet Snapshot = Nodes[Base].Pts;
+        SortedIdSet Snapshot = Nodes[Base].Pts.toVector();
         for (uint32_t Object : Snapshot)
           dispatch(Instr.Site, Ctx, Object);
         break;
@@ -495,8 +556,10 @@ private:
     uint64_t FieldTuples = 0;
     uint64_t ThrowTuples = 0;
     uint64_t StaticTuples = 0;
+    uint64_t DenseSets = 0;
     for (uint32_t N = 0; N < Nodes.size(); ++N) {
       const Node &NodeRef = Nodes[N];
+      DenseSets += NodeRef.Pts.isDense() ? 1 : 0;
       switch (NodeKind[N]) {
       case NodeKindVar: {
         VarTuples += NodeRef.Pts.size();
@@ -585,6 +648,9 @@ private:
     Result.Stats.CallGraphEdges = CallEdgeProjection.size();
     Result.Stats.WorklistPops = Pops;
     Result.Stats.ApproxBytes = ApproxBytes;
+    Result.Stats.BatchUnions = BatchUnions;
+    Result.Stats.ElementProbes = ElementProbes;
+    Result.Stats.DensePointsToSets = DenseSets;
     return Result;
   }
 
@@ -615,10 +681,17 @@ private:
       std::vector<SortedIdSet>(Prog.numSites());
   std::set<std::array<uint32_t, 4>> CallGraphTuples;
 
+  /// Batched-propagation scratch, reused across unionInto / addFilteredEdge
+  /// calls so the hot loop performs no per-edge allocation once warm.
+  SortedIdSet UnionScratch;
+  SortedIdSet FilterScratch;
+
   uint64_t TotalTuples = 0;
   uint64_t ApproxBytes = 0;
   uint64_t Pops = 0;
   uint64_t BudgetChecks = 0;
+  uint64_t BatchUnions = 0;   ///< unionInto invocations (whole-delta merges).
+  uint64_t ElementProbes = 0; ///< Single-element addObjectTo attempts.
   SolveStatus Status = SolveStatus::Completed;
 };
 

@@ -215,6 +215,12 @@ struct ByteReader {
 // Section payloads.
 //===----------------------------------------------------------------------===//
 
+// The field list below is part of the on-disk entry format: adding a field
+// here would orphan every entry written by earlier builds.  Propagation
+// diagnostics (SolverStats::BatchUnions / ElementProbes /
+// DensePointsToSets) are deliberately NOT encoded — they describe the
+// solver's internal strategy, not the result, and must read as zero on a
+// cache hit.
 void encodeStats(ByteWriter &W, const SolverStats &Stats) {
   W.f64(Stats.Seconds);
   W.u64(Stats.VarPointsToTuples);

@@ -108,6 +108,15 @@ std::vector<const FieldCell *> collectFieldCells(const PointsToResult &Insens) {
   Cells.reserve(Insens.FieldHeaps.size());
   for (const auto &Cell : Insens.FieldHeaps)
     Cells.push_back(&Cell);
+  // FieldHeaps is an unordered_map, so pointer-collection order varies with
+  // hashing, insertion history, and library version.  Today every consumer
+  // folds the cells with commutative integer ops (sum / max / count), but a
+  // deterministic processing order keeps the shard boundaries — and any
+  // future order-sensitive fold — stable across runs and platforms.
+  std::sort(Cells.begin(), Cells.end(),
+            [](const FieldCell *A, const FieldCell *B) {
+              return A->first < B->first;
+            });
   return Cells;
 }
 

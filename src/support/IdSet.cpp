@@ -1,0 +1,221 @@
+//===- support/IdSet.cpp - Adaptive dense-handle set ----------------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/IdSet.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace intro;
+
+uint64_t IdSet::findBitFrom(uint64_t From) const {
+  uint64_t End = static_cast<uint64_t>(Words.size()) * 64;
+  if (From >= End)
+    return End;
+  size_t Word = static_cast<size_t>(From >> 6);
+  uint64_t Bits = Words[Word] >> (From & 63);
+  if (Bits != 0)
+    return From + static_cast<uint64_t>(__builtin_ctzll(Bits));
+  for (++Word; Word < Words.size(); ++Word)
+    if (Words[Word] != 0)
+      return (static_cast<uint64_t>(Word) << 6) +
+             static_cast<uint64_t>(__builtin_ctzll(Words[Word]));
+  return End;
+}
+
+void IdSet::maybePromote() {
+  if (Dense || Small.size() < std::max<uint32_t>(Threshold, 1))
+    return;
+  // Density condition: the bitmap may not be sparser than one element per
+  // word, i.e. 8 bitmap bytes per at most 8 vector bytes (2x overhead cap).
+  if (wordsFor(Small.back()) > Small.size())
+    return;
+  Words.assign(wordsFor(Small.back()), 0);
+  for (uint32_t Value : Small)
+    Words[Value >> 6] |= uint64_t(1) << (Value & 63);
+  Count = Small.size();
+  Small.clear();
+  Small.shrink_to_fit();
+  Dense = true;
+}
+
+void IdSet::demote() {
+  assert(Dense && "demote of a small set");
+  Small = toVector();
+  Words.clear();
+  Words.shrink_to_fit();
+  Count = 0;
+  Dense = false;
+}
+
+bool IdSet::ensureDenseCapacity(uint32_t MaxValue, size_t FinalCount) {
+  size_t Needed = wordsFor(MaxValue);
+  if (Needed <= Words.size())
+    return true;
+  // Sparse-outlier guard: a handle far beyond the populated range must not
+  // balloon the bitmap (16 bytes per element is the cap — twice the 2x
+  // bound the promotion condition guarantees, leaving room for growth).
+  if (Needed > 2 * FinalCount) {
+    demote();
+    return false;
+  }
+  size_t Grown = std::max(Needed, Words.size() * 2);
+  Words.resize(Grown, 0);
+  return true;
+}
+
+bool IdSet::insert(uint32_t Value) {
+  if (Dense) {
+    if (!ensureDenseCapacity(Value, Count + 1))
+      return setInsert(Small, Value); // Demoted: past threshold, low density.
+    uint64_t &Word = Words[Value >> 6];
+    uint64_t Mask = uint64_t(1) << (Value & 63);
+    if (Word & Mask)
+      return false;
+    Word |= Mask;
+    ++Count;
+    return true;
+  }
+  if (!setInsert(Small, Value))
+    return false;
+  maybePromote();
+  return true;
+}
+
+size_t IdSet::unionWithDelta(const uint32_t *Begin, const uint32_t *End,
+                             SortedIdSet &NewElements) {
+  if (Begin == End)
+    return 0;
+  if (Dense) {
+    // The range is sorted, so its maximum is the last element; settle the
+    // capacity (or the demotion) once, before touching any bits.
+    if (!ensureDenseCapacity(*(End - 1),
+                             Count + static_cast<size_t>(End - Begin)))
+      return unionWithDelta(Begin, End, NewElements); // Now on the small path.
+    size_t Added = 0;
+    for (const uint32_t *It = Begin; It != End; ++It) {
+      uint64_t &Word = Words[*It >> 6];
+      uint64_t Mask = uint64_t(1) << (*It & 63);
+      if (Word & Mask)
+        continue;
+      Word |= Mask;
+      NewElements.push_back(*It);
+      ++Added;
+    }
+    Count += Added;
+    return Added;
+  }
+  size_t FirstNew = NewElements.size();
+  std::set_difference(Begin, End, Small.begin(), Small.end(),
+                      std::back_inserter(NewElements));
+  size_t Added = NewElements.size() - FirstNew;
+  if (Added == 0)
+    return 0;
+  SortedIdSet Merged;
+  Merged.reserve(Small.size() + Added);
+  std::merge(Small.begin(), Small.end(), NewElements.begin() + FirstNew,
+             NewElements.end(), std::back_inserter(Merged));
+  Small.swap(Merged);
+  maybePromote();
+  return Added;
+}
+
+size_t IdSet::unionWithDelta(const IdSet &Src, SortedIdSet &NewElements) {
+  if (&Src == this || Src.empty())
+    return 0;
+  if (!Src.Dense)
+    return unionWithDelta(Src.Small.data(),
+                          Src.Small.data() + Src.Small.size(), NewElements);
+
+  if (Dense) {
+    // Word-wise OR; the new elements of each word are Src & ~Dst.  Both
+    // sets satisfy the density invariant, so growing to the wider of the
+    // two cannot trip the sparse-outlier cap — settle capacity directly.
+    if (Src.Words.size() > Words.size())
+      Words.resize(Src.Words.size(), 0);
+    size_t Added = 0;
+    for (size_t Word = 0; Word < Src.Words.size(); ++Word) {
+      uint64_t Fresh = Src.Words[Word] & ~Words[Word];
+      if (Fresh == 0)
+        continue;
+      Words[Word] |= Fresh;
+      Added += static_cast<size_t>(__builtin_popcountll(Fresh));
+      while (Fresh != 0) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Fresh));
+        NewElements.push_back(static_cast<uint32_t>((Word << 6) + Bit));
+        Fresh &= Fresh - 1;
+      }
+    }
+    Count += Added;
+    return Added;
+  }
+
+  // Small destination, dense source: one ascending merge pass over both.
+  SortedIdSet Merged;
+  Merged.reserve(Small.size() + Src.size());
+  size_t FirstNew = NewElements.size();
+  auto SmallIt = Small.begin();
+  Src.forEach([&](uint32_t Value) {
+    while (SmallIt != Small.end() && *SmallIt < Value)
+      Merged.push_back(*SmallIt++);
+    if (SmallIt != Small.end() && *SmallIt == Value) {
+      ++SmallIt;
+      Merged.push_back(Value);
+      return;
+    }
+    Merged.push_back(Value);
+    NewElements.push_back(Value);
+  });
+  Merged.insert(Merged.end(), SmallIt, Small.end());
+  size_t Added = NewElements.size() - FirstNew;
+  if (Added == 0)
+    return 0;
+  Small.swap(Merged);
+  maybePromote();
+  return Added;
+}
+
+void IdSet::insertNewSorted(const SortedIdSet &Values) {
+  if (Values.empty())
+    return;
+  if (Dense) {
+    if (!ensureDenseCapacity(Values.back(), Count + Values.size())) {
+      insertNewSorted(Values); // Demoted: redo on the small path.
+      return;
+    }
+    for (uint32_t Value : Values) {
+      assert(!(Words[Value >> 6] >> (Value & 63) & 1) &&
+             "insertNewSorted element already present");
+      Words[Value >> 6] |= uint64_t(1) << (Value & 63);
+    }
+    Count += Values.size();
+    return;
+  }
+  if (Small.empty() || Small.back() < Values.front()) {
+    Small.insert(Small.end(), Values.begin(), Values.end());
+  } else {
+    SortedIdSet Merged;
+    Merged.reserve(Small.size() + Values.size());
+    std::merge(Small.begin(), Small.end(), Values.begin(), Values.end(),
+               std::back_inserter(Merged));
+    assert(std::adjacent_find(Merged.begin(), Merged.end()) == Merged.end() &&
+           "insertNewSorted element already present");
+    Small.swap(Merged);
+  }
+  maybePromote();
+}
+
+bool IdSet::operator==(const IdSet &Other) const {
+  if (size() != Other.size())
+    return false;
+  auto It = Other.begin();
+  for (uint32_t Value : *this) {
+    if (Value != *It)
+      return false;
+    ++It;
+  }
+  return true;
+}

@@ -1,0 +1,389 @@
+//===- tests/IdSetTests.cpp - Adaptive points-to set unit tests -----------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// support/IdSet.h unit tests: the vector <-> bitmap promotion boundary,
+/// every mixed-representation union pairing, empty/duplicate/max-handle
+/// edges, the sparse-outlier demotion guard, and a property test of random
+/// operation interleavings against a std::set reference model.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/IdSet.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <vector>
+
+using namespace intro;
+
+namespace {
+
+/// \returns an IdSet holding [0, Count) with \p Threshold, densely packed
+/// (consecutive handles, so it promotes as soon as the threshold allows).
+IdSet denseSet(uint32_t Count, uint32_t Threshold) {
+  IdSet Set(Threshold);
+  for (uint32_t Value = 0; Value < Count; ++Value)
+    Set.insert(Value);
+  return Set;
+}
+
+std::vector<uint32_t> contents(const IdSet &Set) { return Set.toVector(); }
+
+} // namespace
+
+TEST(IdSet, StaysSortedVectorBelowThreshold) {
+  IdSet Set(/*PromoteThreshold=*/8);
+  for (uint32_t Value = 0; Value < 7; ++Value) {
+    EXPECT_TRUE(Set.insert(Value * 3));
+    EXPECT_FALSE(Set.isDense());
+  }
+  EXPECT_EQ(Set.size(), 7u);
+  EXPECT_TRUE(Set.contains(6));
+  EXPECT_FALSE(Set.contains(7));
+}
+
+TEST(IdSet, PromotesAtThresholdWhenDenseEnough) {
+  // Consecutive handles: at the 8th insert the bitmap needs 1 word for 8
+  // elements, easily within the 1-element-per-word density requirement.
+  IdSet Set(/*PromoteThreshold=*/8);
+  for (uint32_t Value = 0; Value < 8; ++Value)
+    Set.insert(Value);
+  EXPECT_TRUE(Set.isDense());
+  EXPECT_EQ(Set.size(), 8u);
+  for (uint32_t Value = 0; Value < 8; ++Value)
+    EXPECT_TRUE(Set.contains(Value));
+  EXPECT_FALSE(Set.contains(8));
+}
+
+TEST(IdSet, StaysVectorPastThresholdWhenSparse) {
+  // Handles 64 words apart: the bitmap would need one word per element
+  // (4096 bytes for 16 elements), failing the density condition.
+  IdSet Set(/*PromoteThreshold=*/8);
+  for (uint32_t Value = 0; Value < 16; ++Value)
+    Set.insert(Value * 4096);
+  EXPECT_FALSE(Set.isDense());
+  EXPECT_EQ(Set.size(), 16u);
+  // approxBytes reflects vector storage.
+  EXPECT_EQ(Set.approxBytes(), 16u * sizeof(uint32_t));
+}
+
+TEST(IdSet, PromotionPreservesContentsAndOrder) {
+  IdSet Set(/*PromoteThreshold=*/4);
+  std::vector<uint32_t> Expected;
+  // Insert descending so promotion happens mid-sequence.
+  for (uint32_t Value = 20; Value-- > 0;) {
+    Set.insert(Value);
+    Expected.push_back(Value);
+  }
+  std::sort(Expected.begin(), Expected.end());
+  EXPECT_TRUE(Set.isDense());
+  EXPECT_EQ(contents(Set), Expected);
+  // Iterator and forEach agree and ascend.
+  std::vector<uint32_t> Iterated(Set.begin(), Set.end());
+  EXPECT_EQ(Iterated, Expected);
+}
+
+TEST(IdSet, DuplicateInsertsAreRejectedInBothRepresentations) {
+  IdSet Small(/*PromoteThreshold=*/100);
+  EXPECT_TRUE(Small.insert(5));
+  EXPECT_FALSE(Small.insert(5));
+  EXPECT_EQ(Small.size(), 1u);
+
+  IdSet Dense = denseSet(64, /*Threshold=*/4);
+  ASSERT_TRUE(Dense.isDense());
+  EXPECT_FALSE(Dense.insert(63));
+  EXPECT_TRUE(Dense.insert(64));
+  EXPECT_EQ(Dense.size(), 65u);
+}
+
+TEST(IdSet, MaxHandleLandsInVectorMode) {
+  IdSet Set(/*PromoteThreshold=*/4);
+  constexpr uint32_t Max = std::numeric_limits<uint32_t>::max();
+  EXPECT_TRUE(Set.insert(Max));
+  EXPECT_TRUE(Set.contains(Max));
+  // A lone max handle must never promote: the bitmap would need 2^26 words.
+  for (uint32_t Value = 0; Value < 32; ++Value)
+    Set.insert(Value);
+  EXPECT_FALSE(Set.isDense());
+  EXPECT_EQ(Set.size(), 33u);
+  EXPECT_TRUE(Set.contains(Max));
+}
+
+TEST(IdSet, SparseOutlierDemotesDenseSet) {
+  // A compact dense set hit with a far-away handle must fall back to the
+  // vector representation rather than allocate a ~512 MB bitmap.
+  IdSet Set = denseSet(64, /*Threshold=*/4);
+  ASSERT_TRUE(Set.isDense());
+  constexpr uint32_t Outlier = std::numeric_limits<uint32_t>::max() - 1;
+  EXPECT_TRUE(Set.insert(Outlier));
+  EXPECT_FALSE(Set.isDense());
+  EXPECT_EQ(Set.size(), 65u);
+  EXPECT_TRUE(Set.contains(Outlier));
+  EXPECT_TRUE(Set.contains(0));
+  EXPECT_TRUE(Set.contains(63));
+  // Storage stayed proportional to the element count, not the key range.
+  EXPECT_EQ(Set.approxBytes(), 65u * sizeof(uint32_t));
+}
+
+TEST(IdSet, ClearResetsToEmptySmallSet) {
+  IdSet Set = denseSet(64, /*Threshold=*/4);
+  ASSERT_TRUE(Set.isDense());
+  Set.clear();
+  EXPECT_TRUE(Set.empty());
+  EXPECT_FALSE(Set.isDense());
+  EXPECT_EQ(Set.approxBytes(), 0u);
+  EXPECT_TRUE(Set.insert(3));
+  EXPECT_EQ(Set.size(), 1u);
+}
+
+// --- unionWithDelta: all four representation pairings ----------------------
+
+namespace {
+
+/// Exercises Dst.unionWithDelta(Src) and checks: final contents are the set
+/// union, the reported delta is exactly the genuinely new elements in
+/// ascending order, and the return value matches the delta size.
+void checkUnion(IdSet Dst, const IdSet &Src) {
+  std::set<uint32_t> Model(Dst.begin(), Dst.end());
+  std::vector<uint32_t> ExpectedDelta;
+  for (uint32_t Value : Src)
+    if (Model.insert(Value).second)
+      ExpectedDelta.push_back(Value);
+
+  SortedIdSet Delta;
+  size_t Added = Dst.unionWithDelta(Src, Delta);
+  EXPECT_EQ(Added, ExpectedDelta.size());
+  EXPECT_EQ(Delta, ExpectedDelta);
+  EXPECT_EQ(contents(Dst),
+            std::vector<uint32_t>(Model.begin(), Model.end()));
+}
+
+} // namespace
+
+TEST(IdSet, UnionSmallIntoSmall) {
+  IdSet Dst(/*PromoteThreshold=*/100);
+  IdSet Src(/*PromoteThreshold=*/100);
+  for (uint32_t Value : {2u, 4u, 6u, 8u})
+    Dst.insert(Value);
+  for (uint32_t Value : {1u, 4u, 9u})
+    Src.insert(Value);
+  ASSERT_FALSE(Dst.isDense());
+  ASSERT_FALSE(Src.isDense());
+  checkUnion(Dst, Src);
+}
+
+TEST(IdSet, UnionDenseIntoSmall) {
+  IdSet Dst(/*PromoteThreshold=*/1000);
+  for (uint32_t Value = 0; Value < 20; Value += 2)
+    Dst.insert(Value);
+  IdSet Src = denseSet(128, /*Threshold=*/4);
+  ASSERT_FALSE(Dst.isDense());
+  ASSERT_TRUE(Src.isDense());
+  checkUnion(Dst, Src);
+}
+
+TEST(IdSet, UnionSmallIntoDense) {
+  IdSet Dst = denseSet(128, /*Threshold=*/4);
+  IdSet Src(/*PromoteThreshold=*/1000);
+  for (uint32_t Value : {3u, 127u, 128u, 200u})
+    Src.insert(Value);
+  ASSERT_TRUE(Dst.isDense());
+  ASSERT_FALSE(Src.isDense());
+  checkUnion(Dst, Src);
+}
+
+TEST(IdSet, UnionDenseIntoDense) {
+  IdSet Dst = denseSet(128, /*Threshold=*/4);
+  IdSet Src(/*Threshold=*/4);
+  for (uint32_t Value = 64; Value < 256; ++Value)
+    Src.insert(Value);
+  ASSERT_TRUE(Dst.isDense());
+  ASSERT_TRUE(Src.isDense());
+  checkUnion(Dst, Src);
+}
+
+TEST(IdSet, UnionWithSelfAndEmptyAreNoOps) {
+  IdSet Set = denseSet(100, /*Threshold=*/4);
+  SortedIdSet Delta;
+  EXPECT_EQ(Set.unionWithDelta(Set, Delta), 0u);
+  EXPECT_TRUE(Delta.empty());
+  EXPECT_EQ(Set.size(), 100u);
+
+  IdSet Empty;
+  EXPECT_EQ(Set.unionWithDelta(Empty, Delta), 0u);
+  EXPECT_TRUE(Delta.empty());
+
+  // Empty destination adopts everything.
+  IdSet Fresh;
+  EXPECT_EQ(Fresh.unionWithDelta(Set, Delta), 100u);
+  EXPECT_EQ(Delta.size(), 100u);
+  EXPECT_EQ(Fresh, Set);
+}
+
+TEST(IdSet, UnionDeltaAppendsWithoutClearing) {
+  // The solver reuses one scratch vector across edges; unionWithDelta must
+  // append, not clear.
+  IdSet A(/*PromoteThreshold=*/100);
+  IdSet B(/*PromoteThreshold=*/100);
+  A.insert(1);
+  B.insert(2);
+  IdSet Dst(/*PromoteThreshold=*/100);
+  SortedIdSet Delta;
+  Dst.unionWithDelta(A, Delta);
+  Dst.unionWithDelta(B, Delta);
+  EXPECT_EQ(Delta, (SortedIdSet{1, 2}));
+}
+
+TEST(IdSet, UnionPromotesSmallDestinationPastThreshold) {
+  IdSet Dst(/*PromoteThreshold=*/8);
+  Dst.insert(0);
+  IdSet Src = denseSet(64, /*Threshold=*/4);
+  SortedIdSet Delta;
+  EXPECT_EQ(Dst.unionWithDelta(Src, Delta), 63u);
+  EXPECT_TRUE(Dst.isDense());
+  EXPECT_EQ(Dst.size(), 64u);
+}
+
+TEST(IdSet, UnionSparseRangeDemotesDenseDestination) {
+  // Merging far-flung handles into a compact dense set trips the outlier
+  // guard mid-union; the operation must complete on the vector path with
+  // nothing lost or double-reported.
+  IdSet Dst = denseSet(64, /*Threshold=*/4);
+  ASSERT_TRUE(Dst.isDense());
+  SortedIdSet Sparse;
+  for (uint32_t Value = 0; Value < 8; ++Value)
+    Sparse.push_back(1u << (20 + Value));
+  SortedIdSet Delta;
+  EXPECT_EQ(Dst.unionWithDelta(Sparse, Delta), 8u);
+  EXPECT_FALSE(Dst.isDense());
+  EXPECT_EQ(Dst.size(), 72u);
+  EXPECT_EQ(Delta, Sparse);
+  for (uint32_t Value : Sparse)
+    EXPECT_TRUE(Dst.contains(Value));
+}
+
+TEST(IdSet, InsertNewSortedInBothRepresentations) {
+  IdSet Small(/*PromoteThreshold=*/100);
+  Small.insert(5);
+  Small.insertNewSorted({1, 3, 9});
+  EXPECT_EQ(contents(Small), (std::vector<uint32_t>{1, 3, 5, 9}));
+  // Append-after-back fast path.
+  Small.insertNewSorted({10, 11});
+  EXPECT_EQ(Small.size(), 6u);
+
+  IdSet Dense = denseSet(64, /*Threshold=*/4);
+  Dense.insertNewSorted({70, 80});
+  EXPECT_TRUE(Dense.contains(70));
+  EXPECT_TRUE(Dense.contains(80));
+  EXPECT_EQ(Dense.size(), 66u);
+
+  Small.insertNewSorted({});
+  EXPECT_EQ(Small.size(), 6u);
+}
+
+TEST(IdSet, EqualityIsRepresentationIndependent) {
+  // Same contents, one promoted and one held as a vector.
+  IdSet Vector(/*PromoteThreshold=*/1000);
+  IdSet Bitmap(/*PromoteThreshold=*/4);
+  for (uint32_t Value = 0; Value < 100; ++Value) {
+    Vector.insert(Value);
+    Bitmap.insert(Value);
+  }
+  ASSERT_FALSE(Vector.isDense());
+  ASSERT_TRUE(Bitmap.isDense());
+  EXPECT_EQ(Vector, Bitmap);
+  Bitmap.insert(100);
+  EXPECT_NE(Vector, Bitmap);
+}
+
+TEST(IdSet, DenseApproxBytesStaysWithinVectorFactor) {
+  // The promotion density condition bounds bitmap bytes by 2x the vector
+  // bytes at promotion time.
+  IdSet Set(/*PromoteThreshold=*/48);
+  for (uint32_t Value = 0; Value < 48; ++Value)
+    Set.insert(Value * 2); // Density: 32 elements per 64-bit word span.
+  ASSERT_TRUE(Set.isDense());
+  EXPECT_LE(Set.approxBytes(), 2 * 48 * sizeof(uint32_t));
+}
+
+TEST(IdSet, RandomOpInterleavingsMatchStdSetModel) {
+  // Property test: arbitrary interleavings of insert / unionWithDelta /
+  // clear across random thresholds must track a std::set model exactly,
+  // and every reported union delta must be exactly the new elements.
+  for (uint64_t Seed = 0; Seed < 12; ++Seed) {
+    Rng R(0x1d5e7 + Seed);
+    uint32_t Threshold = R.range(1, 64);
+    uint32_t KeyRange = R.range(64, 4096);
+    IdSet Set(Threshold);
+    std::set<uint32_t> Model;
+
+    for (int Op = 0; Op < 400; ++Op) {
+      switch (R.below(8)) {
+      case 0: { // Occasional sparse outlier insert.
+        uint32_t Value = std::numeric_limits<uint32_t>::max() - R.below(1000);
+        EXPECT_EQ(Set.insert(Value), Model.insert(Value).second);
+        break;
+      }
+      case 1: { // Union with a random batch (sorted range overload).
+        SortedIdSet Batch;
+        for (uint32_t Index = R.below(100); Index-- > 0;)
+          Batch.push_back(R.below(KeyRange));
+        std::sort(Batch.begin(), Batch.end());
+        Batch.erase(std::unique(Batch.begin(), Batch.end()), Batch.end());
+        std::vector<uint32_t> ExpectedDelta;
+        for (uint32_t Value : Batch)
+          if (Model.insert(Value).second)
+            ExpectedDelta.push_back(Value);
+        SortedIdSet Delta;
+        EXPECT_EQ(Set.unionWithDelta(Batch, Delta), ExpectedDelta.size());
+        EXPECT_EQ(Delta, ExpectedDelta);
+        break;
+      }
+      case 2: { // Union with a random IdSet.
+        IdSet Other(R.range(1, 32));
+        for (uint32_t Index = R.below(150); Index-- > 0;)
+          Other.insert(R.below(KeyRange));
+        std::vector<uint32_t> ExpectedDelta;
+        for (uint32_t Value : Other)
+          if (Model.insert(Value).second)
+            ExpectedDelta.push_back(Value);
+        SortedIdSet Delta;
+        EXPECT_EQ(Set.unionWithDelta(Other, Delta), ExpectedDelta.size());
+        EXPECT_EQ(Delta, ExpectedDelta);
+        break;
+      }
+      case 3: { // Membership probe.
+        uint32_t Value = R.below(KeyRange);
+        EXPECT_EQ(Set.contains(Value), Model.count(Value) == 1);
+        break;
+      }
+      case 4: {
+        if (R.below(20) == 0) { // Rare full reset.
+          Set.clear();
+          Model.clear();
+        }
+        break;
+      }
+      default: { // Plain insert.
+        uint32_t Value = R.below(KeyRange);
+        EXPECT_EQ(Set.insert(Value), Model.insert(Value).second);
+        break;
+      }
+      }
+    }
+
+    EXPECT_EQ(Set.size(), Model.size());
+    EXPECT_EQ(contents(Set),
+              std::vector<uint32_t>(Model.begin(), Model.end()));
+    std::vector<uint32_t> Iterated(Set.begin(), Set.end());
+    EXPECT_EQ(Iterated, std::vector<uint32_t>(Model.begin(), Model.end()));
+  }
+}

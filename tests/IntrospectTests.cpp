@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/ContextPolicy.h"
+#include "analysis/Escape.h"
 #include "analysis/PrecisionMetrics.h"
 #include "analysis/Solver.h"
 #include "introspect/Driver.h"
@@ -16,6 +17,9 @@
 #include "TestPrograms.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
 
 using namespace intro;
 using namespace intro::testing;
@@ -272,4 +276,64 @@ TEST(Metrics, ParallelComputationHandlesTinyPrograms) {
   EXPECT_EQ(Parallel.PointedByObjs, Sequential.PointedByObjs);
   EXPECT_EQ(Parallel.ObjectTotalFieldPointsTo,
             Sequential.ObjectTotalFieldPointsTo);
+}
+
+TEST(Metrics, HashMapIterationOrderDoesNotLeakIntoResults) {
+  // FieldHeaps / StaticFieldHeaps are unordered_maps: their iteration
+  // order depends on insertion history, not on contents.  Rebuild the same
+  // logical maps with a reversed insertion sequence (different bucket
+  // layout) and require the metric and escape computations to be
+  // bit-identical — i.e. no consumer folds the cells in hash order in an
+  // order-sensitive way.
+  Program Prog = generateWorkload(dacapoProfile("chart"));
+  auto Insens = makeInsensitivePolicy();
+  ContextTable Table;
+  PointsToResult First = solvePointsTo(Prog, *Insens, Table);
+
+  PointsToResult Shuffled = First;
+  {
+    std::vector<uint64_t> Keys;
+    for (const auto &[Key, Heaps] : First.FieldHeaps)
+      Keys.push_back(Key);
+    std::sort(Keys.begin(), Keys.end(), std::greater<uint64_t>());
+    Shuffled.FieldHeaps.clear();
+    for (uint64_t Key : Keys)
+      Shuffled.FieldHeaps.emplace(Key, First.FieldHeaps.at(Key));
+  }
+  {
+    std::vector<uint32_t> Keys;
+    for (const auto &[Key, Heaps] : First.StaticFieldHeaps)
+      Keys.push_back(Key);
+    std::sort(Keys.begin(), Keys.end(), std::greater<uint32_t>());
+    Shuffled.StaticFieldHeaps.clear();
+    for (uint32_t Key : Keys)
+      Shuffled.StaticFieldHeaps.emplace(Key, First.StaticFieldHeaps.at(Key));
+  }
+  ASSERT_FALSE(Shuffled.FieldHeaps.empty());
+
+  IntrospectionMetrics Base = computeIntrospectionMetrics(Prog, First);
+  IntrospectionMetrics Reordered = computeIntrospectionMetrics(Prog, Shuffled);
+  EXPECT_EQ(Reordered.InFlow, Base.InFlow);
+  EXPECT_EQ(Reordered.MethodTotalVolume, Base.MethodTotalVolume);
+  EXPECT_EQ(Reordered.MethodMaxVarPointsTo, Base.MethodMaxVarPointsTo);
+  EXPECT_EQ(Reordered.ObjectMaxFieldPointsTo, Base.ObjectMaxFieldPointsTo);
+  EXPECT_EQ(Reordered.ObjectTotalFieldPointsTo,
+            Base.ObjectTotalFieldPointsTo);
+  EXPECT_EQ(Reordered.MethodMaxVarFieldPointsTo,
+            Base.MethodMaxVarFieldPointsTo);
+  EXPECT_EQ(Reordered.PointedByVars, Base.PointedByVars);
+  EXPECT_EQ(Reordered.PointedByObjs, Base.PointedByObjs);
+
+  ThreadPool Pool(3);
+  IntrospectionMetrics Parallel =
+      computeIntrospectionMetrics(Prog, Shuffled, Pool);
+  EXPECT_EQ(Parallel.PointedByObjs, Base.PointedByObjs);
+  EXPECT_EQ(Parallel.ObjectTotalFieldPointsTo, Base.ObjectTotalFieldPointsTo);
+  EXPECT_EQ(Parallel.ObjectMaxFieldPointsTo, Base.ObjectMaxFieldPointsTo);
+
+  EscapeResult EscapeBase = computeEscape(Prog, First);
+  EscapeResult EscapeReordered = computeEscape(Prog, Shuffled);
+  EXPECT_EQ(EscapeReordered.Escapes, EscapeBase.Escapes);
+  EXPECT_EQ(EscapeReordered.EscapingSites, EscapeBase.EscapingSites);
+  EXPECT_EQ(EscapeReordered.ReachableSites, EscapeBase.ReachableSites);
 }

@@ -22,6 +22,7 @@
 #include "frontend/Parser.h"
 #include "frontend/Printer.h"
 #include "ir/Interpreter.h"
+#include "ir/ProgramBuilder.h"
 #include "ir/Validator.h"
 #include "workload/Random.h"
 
@@ -278,3 +279,78 @@ TEST_P(LargeRandomProgramProperty, OracleAgreementAtScale) {
 
 INSTANTIATE_TEST_SUITE_P(LargeSeeds, LargeRandomProgramProperty,
                          ::testing::Range<uint64_t>(100, 108));
+
+// --- Dense hub workloads: oracle agreement with bitmap-backed sets -----------
+
+TEST(DenseHubProperty, OracleAgreementWithPromotedSets) {
+  // Random programs keep points-to sets small, so the adaptive sets stay in
+  // vector mode there.  This workload funnels enough interleaved allocation
+  // sites through a hub (with loads, stores, casts, and dispatch hanging
+  // off it) that the hot sets cross the promotion threshold, then demands
+  // tuple-for-tuple oracle agreement while the solver is in bitmap mode.
+  constexpr uint32_t NumObjects = 96;
+  constexpr uint32_t NumSources = 4;
+  constexpr uint32_t NumConsumers = 8;
+
+  ProgramBuilder B;
+  TypeId Object = B.cls("Object");
+  TypeId Base = B.cls("Base", Object);
+  TypeId Payload = B.cls("Payload", Base);
+  TypeId Other = B.cls("Other", Base);
+  FieldId Link = B.field(Base, "link");
+  MethodBuilder Poke = B.method(Base, "poke", 0);
+  (void)Poke;
+  MethodBuilder Main = B.method(Object, "main", 0, /*IsStatic=*/true);
+  B.entry(Main.id());
+
+  std::vector<VarId> Sources;
+  for (uint32_t Index = 0; Index < NumSources; ++Index)
+    Sources.push_back(Main.local("s" + std::to_string(Index)));
+  // Interleaved allocation over two sibling types so the cast filter below
+  // genuinely splits the hub set.
+  for (uint32_t Index = 0; Index < NumObjects; ++Index)
+    Main.alloc(Sources[Index % NumSources],
+               Index % 2 == 0 ? Payload : Other);
+  VarId Hub = Main.local("hub");
+  for (VarId Source : Sources)
+    Main.move(Hub, Source);
+  for (uint32_t Index = 0; Index < NumConsumers; ++Index)
+    Main.move(Main.local("c" + std::to_string(Index)), Hub);
+  // Field flow through the dense set: every hub object's link field holds
+  // the whole hub set, read back through a load.
+  Main.store(Hub, Link, Hub);
+  Main.load(Main.local("back"), Hub, Link);
+  // A checked cast filters the dense set by type.
+  Main.cast(Main.local("narrowed"), Hub, Payload);
+  // Dispatch over the dense receiver set.
+  Main.vcall(VarId::invalid(), Hub, "poke", {});
+  Program Prog = B.take();
+  ASSERT_TRUE(validateProgram(Prog).empty());
+
+  for (auto &Policy : {makeInsensitivePolicy(), makeObjectPolicy(Prog, 2, 1)}) {
+    ContextTable Table;
+    SolverOptions Options;
+    Options.KeepTuples = true;
+    PointsToResult Solver = solvePointsTo(Prog, *Policy, Table, Options);
+    ASSERT_EQ(Solver.Status, SolveStatus::Completed);
+    // The point of this workload: the solver really ran on bitmap sets.
+    EXPECT_GT(Solver.Stats.DensePointsToSets, 0u) << Policy->name();
+    EXPECT_GT(Solver.Stats.BatchUnions, 0u) << Policy->name();
+
+    DatalogReferenceResult Reference =
+        runDatalogReference(Prog, *Policy, Table);
+    ASSERT_FALSE(Reference.BudgetExceeded);
+    auto Sorted = [](auto Tuples) {
+      std::sort(Tuples.begin(), Tuples.end());
+      return Tuples;
+    };
+    EXPECT_EQ(Sorted(Solver.VarPointsTo), Reference.VarPointsTo)
+        << Policy->name();
+    EXPECT_EQ(Sorted(Solver.FieldPointsTo), Reference.FieldPointsTo)
+        << Policy->name();
+    EXPECT_EQ(Sorted(Solver.Reachable), Reference.Reachable)
+        << Policy->name();
+    EXPECT_EQ(Sorted(Solver.CallGraph), Reference.CallGraph)
+        << Policy->name();
+  }
+}

@@ -199,7 +199,11 @@ TEST(Cancellation, WatchdogAbortsExplodingSolvePromptly) {
   // hsqldb under 2objH is a genuine blow-up (Figure 5): with the budgets
   // effectively disabled it would run for minutes.  A watchdog cancels it
   // shortly after launch; the solver must return within 250 ms of the
-  // signal with the distinct Cancelled status, not a timeout.
+  // signal with the distinct Cancelled status, not a timeout.  The signal
+  // fires 50 ms in: far enough to be deep inside the hot loop, early
+  // enough that the bound measures cancellation latency rather than how
+  // much exploded state result assembly has to walk (the batched solver
+  // covers several times more of the blow-up per wall-clock second).
   Program Prog = generateWorkload(dacapoProfile("hsqldb"));
   auto Policy = makeObjectPolicy(Prog, 2, 1);
   CancellationToken Token;
@@ -214,7 +218,7 @@ TEST(Cancellation, WatchdogAbortsExplodingSolvePromptly) {
     R = solvePointsTo(Prog, *Policy, Table, Options);
   });
 
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
   Timer SinceSignal;
   Token.cancel();
   Solve.join();
@@ -657,8 +661,10 @@ TEST(Portfolio, ConcurrentExternalCancellationStopsAllRungs) {
   // linked tokens and stop every in-flight solve.  jython's deep rung
   // explodes, so without the cancel this would run for many seconds; the
   // budgets below are only a backstop so a regression fails instead of
-  // hanging.  Exercised under TSan in CI to pin the token fan-out as
-  // data-race-free.
+  // hanging.  The cancel fires 25 ms in so that even the cheap first-pass
+  // rung is still in flight (the batched solver finishes it well under
+  // the 100 ms this test historically waited).  Exercised under TSan in
+  // CI to pin the token fan-out as data-race-free.
   Program Prog = generateWorkload(dacapoProfile("jython"));
   auto Refined = makeObjectPolicy(Prog, 2, 1);
   CancellationToken Cancel;
@@ -671,7 +677,7 @@ TEST(Portfolio, ConcurrentExternalCancellationStopsAllRungs) {
   Options.RefinedBudget.MaxSeconds = 30.0;
 
   std::thread Canceller([&Cancel] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
     Cancel.cancel();
   });
   Timer Clock;

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/ContextPolicy.h"
+#include "analysis/DatalogReference.h"
 #include "analysis/PrecisionMetrics.h"
 #include "analysis/Result.h"
 #include "analysis/Solver.h"
@@ -12,6 +13,8 @@
 #include "TestPrograms.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 using namespace intro;
 using namespace intro::testing;
@@ -243,4 +246,64 @@ TEST(Precision, SharedReceiverVarIsPolymorphic) {
   PointsToResult Result = solveWith(P, *Policy);
   PrecisionMetrics Metrics = computePrecision(P, Result);
   EXPECT_EQ(Metrics.PolymorphicVirtualCallSites, 1u);
+}
+
+TEST(Solver, LateEdgesOnHubUseBatchedPropagation) {
+  // Regression for the quadratic edge-installation path: addEdge used to
+  // re-propagate the full source set element-by-element for every late
+  // edge, so a hub variable feeding E late consumers cost O(E * |hub|)
+  // set probes.  With batched difference propagation each edge costs one
+  // set union.  The hub program: S feeder variables whose allocation-site
+  // ids interleave, merged into one hub, fanning out to E late edges.
+  constexpr uint32_t NumObjects = 1024;
+  constexpr uint32_t NumSources = 8;
+  constexpr uint32_t NumConsumers = 32;
+
+  ProgramBuilder B;
+  TypeId Object = B.cls("Object");
+  TypeId Payload = B.cls("Payload", Object);
+  MethodBuilder Main = B.method(Object, "main", 0, /*IsStatic=*/true);
+  B.entry(Main.id());
+  std::vector<VarId> Sources;
+  for (uint32_t Index = 0; Index < NumSources; ++Index)
+    Sources.push_back(Main.local("s" + std::to_string(Index)));
+  for (uint32_t Index = 0; Index < NumObjects; ++Index)
+    Main.alloc(Sources[Index % NumSources], Payload);
+  VarId Hub = Main.local("hub");
+  for (VarId Source : Sources)
+    Main.move(Hub, Source);
+  for (uint32_t Index = 0; Index < NumConsumers; ++Index)
+    Main.move(Main.local("c" + std::to_string(Index)), Hub);
+  Program Prog = B.take();
+
+  auto Policy = makeInsensitivePolicy();
+  ContextTable Table;
+  SolverOptions Options;
+  Options.KeepTuples = true;
+  PointsToResult R = solvePointsTo(Prog, *Policy, Table, Options);
+  ASSERT_EQ(R.Status, SolveStatus::Completed);
+
+  // Identical result to the Datalog oracle, tuple for tuple.
+  DatalogReferenceResult Reference = runDatalogReference(Prog, *Policy, Table);
+  ASSERT_FALSE(Reference.BudgetExceeded);
+  std::vector<std::array<uint32_t, 4>> VarTuples = R.VarPointsTo;
+  std::sort(VarTuples.begin(), VarTuples.end());
+  EXPECT_EQ(VarTuples, Reference.VarPointsTo);
+
+  // Every consumer edge moved the whole hub set in batch...
+  EXPECT_GT(R.Stats.BatchUnions, NumConsumers);
+  // ...so single-element probes stay at the allocation sites (one per
+  // ALLOC) instead of the O(tuples) element-wise re-propagation the old
+  // path performed.  VarPointsToTuples here is ~NumObjects * NumConsumers.
+  EXPECT_GE(R.Stats.VarPointsToTuples,
+            static_cast<uint64_t>(NumObjects) * NumConsumers);
+  EXPECT_LT(R.Stats.ElementProbes, R.Stats.VarPointsToTuples / 8);
+  EXPECT_LE(R.Stats.ElementProbes, NumObjects + NumSources + NumConsumers);
+  // The worklist stays linear in the node count: every node drains its
+  // delta once and goes quiet (nothing re-propagates a stale set).
+  EXPECT_LE(R.Stats.WorklistPops,
+            static_cast<uint64_t>(NumSources) + NumConsumers + 4);
+  // The hub and consumer sets are large and dense: the adaptive sets must
+  // actually be in bitmap mode for the batched unions to be word-wise.
+  EXPECT_GT(R.Stats.DensePointsToSets, NumConsumers);
 }
