@@ -24,6 +24,7 @@
 #include "support/ExitCodes.h"
 #include "support/Json.h"
 #include "support/ParseNum.h"
+#include "support/Socket.h"
 #include "support/Subprocess.h"
 #include "support/TableWriter.h"
 #include "support/Trace.h"
@@ -255,6 +256,11 @@ inline bool supervisedFlag(int argc, char **argv) {
 /// unknown flags must not be silently ignored, or a typo like
 /// `--worker=8` silently benchmarks with the wrong configuration.
 inline int checkFigArgs(int argc, char **argv) {
+  // Every fig harness passes through here first, so this is the one spot
+  // that arms the repo's SIGPIPE policy for all of them: `fig5 | head`
+  // must finish its sweep and report EPIPE-aware, not die on signal 13
+  // the moment the pager closes (support/Socket.h).
+  ignoreSigPipe();
   for (int Index = 1; Index < argc; ++Index) {
     std::string Arg = argv[Index];
     if (Arg == "--supervised")

@@ -127,6 +127,39 @@ static void BM_SolveHubHeavy(benchmark::State &State) {
 }
 BENCHMARK(BM_SolveHubHeavy)->Unit(benchmark::kMillisecond);
 
+// Join-index hash datapoint: one body atom per relation means one JoinIndex
+// entry per relation, so the engine's Indexes unordered_map sees exactly the
+// (RelationIndex, Mask) key population that the old `(rel << 8) ^ mask`
+// hash collapsed into a handful of buckets.  With 96 indexed relations this
+// benchmark regressed ~linearly under the colliding hash and is flat under
+// mixIndexKeyBits.
+static void BM_DatalogManyIndexedJoins(benchmark::State &State) {
+  using datalog::Atom;
+  using datalog::Rule;
+  using datalog::Term;
+  constexpr uint32_t NumEdgeRelations = 96;
+  for (auto _ : State) {
+    datalog::Engine E;
+    uint32_t Out = E.addRelation("out", 2);
+    std::vector<uint32_t> Edges;
+    for (uint32_t Rel = 0; Rel < NumEdgeRelations; ++Rel) {
+      uint32_t Edge = E.addRelation("edge" + std::to_string(Rel), 2);
+      Edges.push_back(Edge);
+      // out(x, z) :- out(x, y), edgeR(y, z).  The second atom is looked up
+      // with position 0 bound, so every edge relation gets its own index.
+      E.addRule(Rule{{Atom{Out, {Term::var(0), Term::var(2)}}},
+                     {Atom{Out, {Term::var(0), Term::var(1)}},
+                      Atom{Edge, {Term::var(1), Term::var(2)}}},
+                     {}});
+      for (uint32_t Node = 0; Node < 8; ++Node)
+        E.relation(Edge).insert(std::array<uint32_t, 2>{Node, Node + 1});
+    }
+    E.relation(Out).insert(std::array<uint32_t, 2>{0, 0});
+    benchmark::DoNotOptimize(E.run().TuplesDerived);
+  }
+}
+BENCHMARK(BM_DatalogManyIndexedJoins);
+
 static void BM_DatalogTransitiveClosure(benchmark::State &State) {
   for (auto _ : State) {
     datalog::Engine E;

@@ -557,6 +557,11 @@ bool ResultCache::store(const Fingerprint &Fp, const CachedPassA &Entry) {
   std::string FinalPath = entryPath(Fp);
   fs::rename(TempPath, FinalPath, Ec);
   if (Ec) {
+    // The publish step itself failed (read-only directory, the final path
+    // occupied by a directory, a filesystem boundary).  Distinct instant
+    // from the plain counter so a trace shows *which* store died and with
+    // what errno — a silent miss here used to look like cache churn.
+    TRACE_INSTANT("cache.store_rename_failed", Ec.value());
     TRACE_COUNTER("cache.store_failure", 1);
     NStoreFailures.fetch_add(1, std::memory_order_relaxed);
     std::remove(TempPath.c_str());

@@ -1,0 +1,91 @@
+//===- serve/Client.h - intro-serve-v1 client ------------------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client side of the analysis service: connect, speak intro-serve-v1
+/// frames, and (the common case) submit one job and block until its done
+/// frame, surfacing each streamed child transcript line on the way.  Used
+/// by `intro_batch --server=SOCK` and by serve_tests; the raw send/recv
+/// surface is public so tests can also speak deliberately broken frames.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SERVE_CLIENT_H
+#define SERVE_CLIENT_H
+
+#include "cache/ResultCache.h"
+#include "serve/Protocol.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace intro::serve {
+
+/// Everything a done frame says about one submitted job.
+struct SubmitOutcome {
+  uint64_t JobId = 0;
+  std::string State;      ///< "done" or "cancelled".
+  std::string FinalClass; ///< Empty when no child ever launched.
+  bool Quarantined = false;
+  bool Aborted = false;
+  uint64_t Attempts = 0;
+  std::string ResultLevel;  ///< Winning rung (clean jobs).
+  std::string ResultStatus; ///< Winning status (clean jobs).
+  bool ResultCompleted = false;
+  std::vector<std::string> InputErrors;
+  bool CacheEnabled = false;
+  cache::CacheStats Cache; ///< Summed over attempts that ran with a cache.
+  /// The job's final intro-run-report-v1 line, verbatim as the child wrote
+  /// it — its deterministic section is byte-identical to a local
+  /// intro_batch run of the same program and ladder.
+  std::string FinalReportLine;
+};
+
+/// One connection to an intro_serve daemon.
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects and consumes the hello frame (validating the protocol name).
+  bool connect(const std::string &SocketPath, std::string &Error);
+
+  /// Sends one request frame wrapping \p Json.
+  bool send(std::string_view Json, std::string &Error);
+
+  /// Blocks for the next response frame's payload.
+  bool recv(std::string &Json, std::string &Error);
+
+  /// Submits one job and blocks until its done frame.  \p DeadlineSeconds
+  /// <= 0 leaves the server default; \p ChaosSpec empty injects nothing
+  /// (otherwise KIND[:LEVEL][:UNTIL], validated server-side).  \p OnLine,
+  /// when non-null, sees every streamed transcript line with its 1-based
+  /// attempt.  An error frame from the server fails the call with its code
+  /// and message in \p Error.
+  bool submit(const std::string &Name, const std::string &Source,
+              double DeadlineSeconds, const std::string &ChaosSpec,
+              const std::function<void(uint64_t Attempt,
+                                       const std::string &Line)> &OnLine,
+              SubmitOutcome &Out, std::string &Error);
+
+  /// Sends a drain request and waits for the drained acknowledgement.
+  bool drain(std::string &Error);
+
+  void close();
+  int fd() const { return Fd; }
+
+private:
+  int Fd = -1;
+  FrameDecoder Decoder;
+};
+
+} // namespace intro::serve
+
+#endif // SERVE_CLIENT_H

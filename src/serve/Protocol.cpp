@@ -1,0 +1,54 @@
+//===- serve/Protocol.cpp - intro-serve-v1 frame protocol -----------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+using namespace intro;
+using namespace intro::serve;
+
+std::string serve::encodeFrame(std::string_view Payload) {
+  std::string Frame;
+  Frame.reserve(4 + Payload.size());
+  uint32_t Length = static_cast<uint32_t>(Payload.size());
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    Frame.push_back(static_cast<char>((Length >> Shift) & 0xff));
+  Frame.append(Payload.data(), Payload.size());
+  return Frame;
+}
+
+void FrameDecoder::feed(const char *Data, size_t Count) {
+  Buffer.append(Data, Count);
+}
+
+FrameDecoder::Status FrameDecoder::next(std::string &Payload,
+                                        std::string &ErrorMessage) {
+  if (Poisoned) {
+    ErrorMessage = "frame stream already failed";
+    return Status::Error;
+  }
+  if (Buffer.size() < 4)
+    return Status::NeedMore;
+  uint32_t Length = 0;
+  for (int Index = 0; Index < 4; ++Index)
+    Length |= static_cast<uint32_t>(static_cast<unsigned char>(Buffer[Index]))
+              << (8 * Index);
+  if (Length > MaxFramePayload) {
+    // There is no way to skip to the "next" frame: the length header is
+    // the only framing, and it just told us a lie (or the peer speaks a
+    // different protocol).  Poison the stream.
+    Poisoned = true;
+    Buffer.clear();
+    ErrorMessage = "frame payload length " + std::to_string(Length) +
+                   " exceeds the " + std::to_string(MaxFramePayload) +
+                   "-byte cap";
+    return Status::Error;
+  }
+  if (Buffer.size() < 4 + static_cast<size_t>(Length))
+    return Status::NeedMore;
+  Payload.assign(Buffer, 4, Length);
+  Buffer.erase(0, 4 + static_cast<size_t>(Length));
+  return Status::Frame;
+}

@@ -1,0 +1,91 @@
+//===- serve/Protocol.h - intro-serve-v1 frame protocol ---------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire format of the analysis service (`intro-serve-v1`): a stream of
+/// length-prefixed JSON frames in both directions over a Unix-domain
+/// socket.  Each frame is a 4-byte little-endian unsigned payload length
+/// followed by exactly that many bytes of UTF-8 JSON — one complete
+/// document per frame, no newline framing, no sync markers.
+///
+/// Requests (client -> server) are objects with an "op" member:
+///
+///   {"op":"submit","name":N,"source":S[,"deadline_seconds":D][,"chaos":C]}
+///   {"op":"status","job":ID}
+///   {"op":"cancel","job":ID}
+///   {"op":"stats"}
+///   {"op":"drain"}
+///
+/// Responses (server -> client) always carry "ok".  A submit streams:
+/// first {"ok":true,"event":"accepted","job":ID}, then zero or more
+/// {"ok":true,"event":"line","job":ID,"attempt":A,"line":L} frames — L is
+/// one verbatim line of the supervised child's JSONL transcript (the same
+/// rung_start and intro-run-report-v1 bytes intro_batch sees), then one
+/// {"ok":true,"event":"done",...} frame.  Errors are
+/// {"ok":false,"error":{"code":C,"message":M[,"line":N]}} with stable
+/// machine codes (see DESIGN.md section 12 for the full grammar).
+///
+/// Framing errors cannot be resynchronized from — after an oversized or
+/// truncated frame the server answers with a coded error and closes that
+/// connection; the *server* keeps serving.  Malformed JSON inside a
+/// well-formed frame is recoverable: the error response carries the
+/// parser's 1-based line number and the connection stays open.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SERVE_PROTOCOL_H
+#define SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace intro::serve {
+
+/// Protocol identifier sent in the hello frame and asserted by clients.
+inline constexpr const char *ProtocolName = "intro-serve-v1";
+
+/// Hard cap on one frame's payload.  Large enough for any realistic
+/// textual-IR program, small enough that a garbage length header cannot
+/// make the server buffer gigabytes.
+inline constexpr uint32_t MaxFramePayload = 16u << 20;
+
+/// \returns \p Payload wrapped as one wire frame (length header + bytes).
+std::string encodeFrame(std::string_view Payload);
+
+/// Incremental frame decoder: feed() raw socket bytes, then pull complete
+/// frames with next() until it reports NeedMore.  Byte streams are
+/// adversarial input here — the decoder never throws, never over-reads,
+/// and flags unrecoverable framing errors explicitly.
+class FrameDecoder {
+public:
+  enum class Status : uint8_t {
+    NeedMore, ///< No complete frame buffered yet.
+    Frame,    ///< One payload extracted into the out-parameter.
+    Error,    ///< Unrecoverable framing error (oversized length).
+  };
+
+  /// Appends \p Count raw bytes from the socket.
+  void feed(const char *Data, size_t Count);
+
+  /// Tries to extract the next complete frame into \p Payload.  On Error,
+  /// \p ErrorMessage describes the problem; the decoder is then poisoned
+  /// (every further next() returns Error) because the stream position is
+  /// lost for good.
+  Status next(std::string &Payload, std::string &ErrorMessage);
+
+  /// True when buffered bytes form only part of a frame — at EOF this
+  /// means the peer hung up mid-frame (the "truncated_frame" error).
+  bool hasPartial() const { return !Poisoned && !Buffer.empty(); }
+
+private:
+  std::string Buffer;
+  bool Poisoned = false;
+};
+
+} // namespace intro::serve
+
+#endif // SERVE_PROTOCOL_H

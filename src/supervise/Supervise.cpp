@@ -12,6 +12,7 @@
 #include "ir/Validator.h"
 #include "support/ExitCodes.h"
 #include "support/Json.h"
+#include "support/ParseNum.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -108,6 +109,54 @@ void intro::supervise::disambiguateJobNames(std::vector<JobSpec> &Jobs) {
     Job.Name = std::move(Candidate);
     Seen.insert(Job.Name);
   }
+}
+
+bool intro::supervise::parseChaosPlan(const std::string &Spec,
+                                      ChaosPlan &Plan, std::string &Error) {
+  std::vector<std::string> Parts;
+  size_t Begin = 0;
+  while (Begin <= Spec.size()) {
+    size_t Colon = Spec.find(':', Begin);
+    size_t Stop = Colon == std::string::npos ? Spec.size() : Colon;
+    Parts.push_back(Spec.substr(Begin, Stop - Begin));
+    Begin = Stop + 1;
+    if (Colon == std::string::npos)
+      break;
+  }
+  if (Parts.empty() || Parts.size() > 3) {
+    Error = "expected KIND[:LEVEL][:UNTIL], got '" + Spec + "'";
+    return false;
+  }
+
+  const std::string &Kind = Parts[0];
+  if (Kind == "crash")
+    Plan.Fault = ChaosPlan::Kind::Crash;
+  else if (Kind == "oom")
+    Plan.Fault = ChaosPlan::Kind::Oom;
+  else if (Kind == "spin")
+    Plan.Fault = ChaosPlan::Kind::Spin;
+  else if (Kind == "exit")
+    Plan.Fault = ChaosPlan::Kind::ExitNonzero;
+  else if (Kind == "garbage")
+    Plan.Fault = ChaosPlan::Kind::GarbageReport;
+  else if (Kind == "truncate")
+    Plan.Fault = ChaosPlan::Kind::TruncatedReport;
+  else {
+    Error = "unknown chaos kind '" + Kind +
+            "' (crash|oom|spin|exit|garbage|truncate)";
+    return false;
+  }
+  if (Parts.size() >= 2 && !Parts[1].empty() &&
+      !degradationLevelFromName(Parts[1], Plan.AtLevel)) {
+    Error = "unknown degradation level '" + Parts[1] + "'";
+    return false;
+  }
+  if (Parts.size() == 3 &&
+      !parseU32("chaos UNTIL", Parts[2], 1,
+                std::numeric_limits<uint32_t>::max(), Plan.UntilAttempt,
+                Error))
+    return false;
+  return true;
 }
 
 void intro::supervise::escalateBelow(ResilientOptions &Options,
@@ -478,16 +527,37 @@ ResilientOptions sanitizeLadder(const ResilientOptions &Ladder) {
 JobResult intro::supervise::runSupervisedJob(const JobSpec &Job,
                                              size_t JobIndex,
                                              const BatchOptions &Options) {
+  return runSupervisedJob(Job, JobIndex, Options, JobHooks());
+}
+
+JobResult intro::supervise::runSupervisedJob(const JobSpec &Job,
+                                             size_t JobIndex,
+                                             const BatchOptions &Options,
+                                             const JobHooks &Hooks) {
   JobResult Result;
   Result.Name = Job.Name;
   ResilientOptions Ladder = sanitizeLadder(Options.Ladder);
 
+  // The hooks' kill switch rides along in the per-job limits copy; the
+  // shared BatchOptions stay untouched so concurrent jobs cannot see each
+  // other's cancel flags.
+  ChildLimits Limits = Options.Limits;
+  if (Hooks.CancelChild)
+    Limits.Cancel = Hooks.CancelChild;
+
   for (uint32_t Attempt = 1;; ++Attempt) {
+    ChildOutputSink Sink;
+    if (Hooks.OnChildOutput)
+      Sink = [&Hooks, Attempt](std::string_view Chunk) {
+        Hooks.OnChildOutput(Attempt, Chunk);
+      };
     ChildResult Child = runSupervisedChild(
-        Options.Limits, [&Job, &Ladder, &Options, Attempt](std::ostream &R) {
+        Limits,
+        [&Job, &Ladder, &Options, Attempt](std::ostream &R) {
           return childAnalyze(Job, Ladder, Attempt, R, Options.CacheDir,
                               Options.CacheMaxEntries);
-        });
+        },
+        Sink);
     ChildTranscript Transcript = decodeTranscript(Child.Output);
 
     JobAttempt Record;
@@ -504,7 +574,8 @@ JobResult intro::supervise::runSupervisedJob(const JobSpec &Job,
     Record.Cache = Transcript.Cache;
     Record.Seconds = Child.Seconds;
 
-    bool Retry = isRetryable(Record.Class) &&
+    bool Aborted = Hooks.ShouldAbort && Hooks.ShouldAbort();
+    bool Retry = !Aborted && isRetryable(Record.Class) &&
                  Attempt < Options.Retry.MaxAttempts;
     if (Retry)
       Record.PlannedDelayMs =
@@ -512,11 +583,20 @@ JobResult intro::supervise::runSupervisedJob(const JobSpec &Job,
     Result.Attempts.push_back(std::move(Record));
     const JobAttempt &Last = Result.Attempts.back();
 
-    if (Last.Class == JobOutcomeClass::Clean) {
+    if (!Aborted && Last.Class == JobOutcomeClass::Clean) {
       Result.FinalClass = JobOutcomeClass::Clean;
       Result.ResultLevel = Transcript.Level;
       Result.ResultStatus = Transcript.Status;
       Result.ResultCompleted = Transcript.Completed;
+      return Result;
+    }
+    if (Aborted) {
+      // The caller ended the loop (a cancelled service request): record
+      // the last class verbatim, skip quarantine — the job is not bad,
+      // just unwanted.
+      Result.FinalClass = Last.Class;
+      Result.Aborted = true;
+      Result.InputErrors = std::move(Transcript.InputErrors);
       return Result;
     }
     if (!Retry) {
@@ -547,21 +627,29 @@ JobResult intro::supervise::runSupervisedJob(const JobSpec &Job,
 BatchResult
 intro::supervise::runSupervisedBatch(const std::vector<JobSpec> &Jobs,
                                      const BatchOptions &Options) {
+  return runSupervisedBatch(Jobs, Options, nullptr);
+}
+
+BatchResult intro::supervise::runSupervisedBatch(
+    const std::vector<JobSpec> &Jobs, const BatchOptions &Options,
+    const std::function<JobHooks(size_t JobIndex)> &HookFactory) {
   Timer Total;
   BatchResult Batch;
   Batch.Jobs.resize(Jobs.size());
+  auto RunOne = [&Jobs, &Batch, &Options, &HookFactory](size_t Index) {
+    JobHooks Hooks = HookFactory ? HookFactory(Index) : JobHooks();
+    Batch.Jobs[Index] = runSupervisedJob(Jobs[Index], Index, Options, Hooks);
+  };
   unsigned Workers = std::max(1u, Options.Workers);
   if (Workers <= 1 || Jobs.size() <= 1) {
     for (size_t Index = 0; Index < Jobs.size(); ++Index)
-      Batch.Jobs[Index] = runSupervisedJob(Jobs[Index], Index, Options);
+      RunOne(Index);
   } else {
     ThreadPool Pool(std::min<unsigned>(Workers, Jobs.size()));
     std::vector<std::future<void>> Pending;
     Pending.reserve(Jobs.size());
     for (size_t Index = 0; Index < Jobs.size(); ++Index)
-      Pending.push_back(Pool.submit([&Jobs, &Batch, &Options, Index] {
-        Batch.Jobs[Index] = runSupervisedJob(Jobs[Index], Index, Options);
-      }));
+      Pending.push_back(Pool.submit([&RunOne, Index] { RunOne(Index); }));
     for (std::future<void> &F : Pending)
       F.get();
   }

@@ -98,6 +98,14 @@ struct ChaosPlan {
   bool armed() const { return Fault != Kind::None; }
 };
 
+/// Parses a chaos SPEC of the form `KIND[:LEVEL][:UNTIL]` (the payload of
+/// intro_batch's `--chaos=SPEC@NAME` and of the serve protocol's submit
+/// "chaos" member) into \p Plan.  KIND is one of crash / oom / spin / exit
+/// / garbage / truncate; LEVEL a degradation-level name; UNTIL a 1-based
+/// attempt bound.  \returns false and sets \p Error on bad syntax.
+bool parseChaosPlan(const std::string &Spec, ChaosPlan &Plan,
+                    std::string &Error);
+
 /// One input to analyze: a named textual-IR program.
 struct JobSpec {
   std::string Name;   ///< Stable identifier (file name) used in reports.
@@ -165,6 +173,11 @@ struct JobResult {
   std::string Name;
   JobOutcomeClass FinalClass = JobOutcomeClass::Clean;
   bool Quarantined = false; ///< Deterministically bad or retries exhausted.
+  /// True when JobHooks::ShouldAbort stopped the retry loop: the last
+  /// attempt's class stands but the job was neither retried nor
+  /// quarantined — the caller (the analysis service, for a cancelled
+  /// request) asked for the loop to end and owns the interpretation.
+  bool Aborted = false;
   std::vector<JobAttempt> Attempts;
   /// Parse/validation diagnostics (BadInput jobs).
   std::vector<std::string> InputErrors;
@@ -206,15 +219,46 @@ struct BatchResult {
   double TotalSeconds = 0;     ///< Wall clock of the batch (timing-only).
 };
 
+/// Per-job supervision hooks.  All optional; the plain batch runner uses
+/// none of them.  The analysis service (src/serve) uses every one: it
+/// streams child output to the requesting client as it arrives, kills the
+/// running child when the client cancels, and stops the retry loop for a
+/// cancelled job instead of burning the remaining attempts.
+struct JobHooks {
+  /// Observes the child's raw pipe bytes incrementally (supervising
+  /// thread, pipe-read chunk boundaries).  \p Attempt is the 1-based
+  /// attempt the bytes belong to, so a consumer reassembling lines can
+  /// reset its buffer between attempts.
+  std::function<void(uint32_t Attempt, std::string_view Chunk)> OnChildOutput;
+  /// Checked after each attempt settles; returning true ends the retry
+  /// loop immediately (JobResult::Aborted) regardless of retry budget.
+  std::function<bool()> ShouldAbort;
+  /// Kill switch wired into ChildLimits::Cancel for every attempt: when it
+  /// becomes true the in-flight child is SIGKILLed (classified
+  /// Signalled/SIGKILL).  Pair with ShouldAbort to stop the loop too.
+  const std::atomic<bool> *CancelChild = nullptr;
+};
+
 /// Runs one job under supervision: launch, classify, retry with backoff
 /// and ladder escalation, quarantine.  \p JobIndex seeds the jitter.
 JobResult runSupervisedJob(const JobSpec &Job, size_t JobIndex,
                            const BatchOptions &Options);
 
+/// Hooked variant of runSupervisedJob; see JobHooks.
+JobResult runSupervisedJob(const JobSpec &Job, size_t JobIndex,
+                           const BatchOptions &Options,
+                           const JobHooks &Hooks);
+
 /// Runs every job (optionally on several supervisor threads) and collects
-/// results in input order.
+/// results in input order.  A non-null \p HookFactory is called once per
+/// job index (before the job starts, possibly from a supervisor thread) to
+/// produce that job's hooks.
 BatchResult runSupervisedBatch(const std::vector<JobSpec> &Jobs,
                                const BatchOptions &Options);
+BatchResult
+runSupervisedBatch(const std::vector<JobSpec> &Jobs,
+                   const BatchOptions &Options,
+                   const std::function<JobHooks(size_t JobIndex)> &HookFactory);
 
 /// Writes the `intro-batch-report-v1` document: a "deterministic" object
 /// (policy, limits, ladder options, per-job classes / attempts / planned

@@ -173,7 +173,8 @@ void classify(ChildResult &Result, int Status, bool WatchdogFired,
 } // namespace
 
 ChildResult intro::runSupervisedChild(const ChildLimits &Limits,
-                                      const ChildPayload &Payload) {
+                                      const ChildPayload &Payload,
+                                      const ChildOutputSink &Sink) {
   TRACE_SPAN("supervise.launch");
   ChildResult Result;
   Timer Clock;
@@ -213,6 +214,7 @@ ChildResult intro::runSupervisedChild(const ChildLimits &Limits,
   ::close(Pipe[1]);
   int ReadFd = Pipe[0];
   bool WatchdogFired = false;
+  bool CancelFired = false;
 
   {
     TRACE_SPAN("supervise.wait");
@@ -229,14 +231,26 @@ ChildResult intro::runSupervisedChild(const ChildLimits &Limits,
           Remaining = -1; // Kill delivered; drain to EOF unbounded.
         }
       }
+      // Cancel kill switch: like the watchdog the parent pulls the trigger,
+      // but the classification stays Signalled/SIGKILL — a cancel is the
+      // caller's decision, not a resource verdict, and callers that cancel
+      // interpret the death themselves.
+      if (Limits.Cancel && !WatchdogFired && !CancelFired &&
+          Limits.Cancel->load(std::memory_order_relaxed)) {
+        TRACE_INSTANT("supervise.cancel_kill", 1);
+        ::kill(Pid, SIGKILL);
+        CancelFired = true;
+        Remaining = -1; // Kill delivered; drain to EOF unbounded.
+      }
       pollfd Poll;
       Poll.fd = ReadFd;
       Poll.events = POLLIN;
       Poll.revents = 0;
-      // Cap the slice so the deadline is honored within ~50ms even if the
-      // child neither writes nor exits.
+      // Cap the slice so the deadline (and the cancel flag) is honored
+      // within ~50ms even if the child neither writes nor exits.
+      int SliceCapMs = Limits.Cancel && !CancelFired ? 50 : 1000;
       int TimeoutMs =
-          (Remaining < 0) ? 1000
+          (Remaining < 0) ? SliceCapMs
                           : static_cast<int>(std::min(Remaining, 0.05) * 1000);
       int Ready = ::poll(&Poll, 1, TimeoutMs < 1 ? 1 : TimeoutMs);
       if (Ready < 0) {
@@ -249,6 +263,8 @@ ChildResult intro::runSupervisedChild(const ChildLimits &Limits,
       ssize_t Count = ::read(ReadFd, Buffer, sizeof(Buffer));
       if (Count > 0) {
         Result.Output.append(Buffer, static_cast<size_t>(Count));
+        if (Sink)
+          Sink(std::string_view(Buffer, static_cast<size_t>(Count)));
         continue;
       }
       if (Count < 0 && errno == EINTR)
@@ -262,18 +278,27 @@ ChildResult intro::runSupervisedChild(const ChildLimits &Limits,
   // bounded because either it exited (EOF path) or SIGKILL is in flight
   // (watchdog path).  A spinning child that closed its pipe but never
   // exits is still covered: arm the watchdog kill on the way in.
-  if (Limits.WallDeadlineSeconds > 0 && !WatchdogFired) {
+  if ((Limits.WallDeadlineSeconds > 0 || Limits.Cancel) && !WatchdogFired &&
+      !CancelFired) {
     // EOF before deadline: give the child the rest of its deadline to
-    // exit, then kill.  Poll waitpid in 10ms slices on the steady clock.
+    // exit, then kill.  Poll waitpid in 10ms slices on the steady clock,
+    // honoring the cancel switch the same way the drain loop does.
     int Status = 0;
     while (true) {
       pid_t Reaped = ::waitpid(Pid, &Status, WNOHANG);
       if (Reaped == Pid || (Reaped < 0 && errno != EINTR))
         break;
-      if (Clock.seconds() >= Limits.WallDeadlineSeconds) {
+      if (Limits.WallDeadlineSeconds > 0 &&
+          Clock.seconds() >= Limits.WallDeadlineSeconds) {
         TRACE_INSTANT("supervise.watchdog_fired", 1);
         ::kill(Pid, SIGKILL);
         WatchdogFired = true;
+        Reaped = ::waitpid(Pid, &Status, 0);
+        break;
+      }
+      if (Limits.Cancel && Limits.Cancel->load(std::memory_order_relaxed)) {
+        TRACE_INSTANT("supervise.cancel_kill", 1);
+        ::kill(Pid, SIGKILL);
         Reaped = ::waitpid(Pid, &Status, 0);
         break;
       }

@@ -29,10 +29,12 @@
 #ifndef SUPPORT_SUBPROCESS_H
 #define SUPPORT_SUBPROCESS_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 namespace intro {
 
@@ -49,6 +51,13 @@ struct ChildLimits {
   /// deadline the child is SIGKILLed and reported as WatchdogKill.  0
   /// disables the watchdog.
   double WallDeadlineSeconds = 0;
+  /// Runtime-only cooperative kill switch (not a limit, but enforced by
+  /// the same parent supervision loop): when it becomes true the child is
+  /// SIGKILLed and the run classifies naturally as Signalled/SIGKILL —
+  /// deliberately *not* WatchdogKill, which is reserved for the deadline.
+  /// The analysis service uses this for its cancel requests.  Must outlive
+  /// the runSupervisedChild call; never serialized into reports.
+  const std::atomic<bool> *Cancel = nullptr;
 };
 
 /// How a supervised child ended, from the parent's perspective.
@@ -85,15 +94,26 @@ struct ChildResult {
 /// after fork there is exactly one thread.
 using ChildPayload = std::function<int(std::ostream &Report)>;
 
+/// Incremental observer of the child's pipe bytes, invoked on the
+/// supervising thread as each chunk is drained — *before* the child has
+/// necessarily exited.  The analysis service streams per-rung progress to
+/// its clients through this.  Chunks are raw bytes in write order (the
+/// same bytes accumulated into ChildResult::Output); chunk boundaries are
+/// pipe-read boundaries, not line boundaries.
+using ChildOutputSink = std::function<void(std::string_view Chunk)>;
+
 /// Forks; the child applies \p Limits, runs \p Payload, and _exit()s with
 /// its return value (std::bad_alloc => OomExitCode, any other exception =>
 /// ChildExceptionExitCode).  The parent captures the pipe, enforces the
-/// watchdog, reaps the child, and classifies the outcome.
+/// watchdog (and the Limits.Cancel kill switch), reaps the child, and
+/// classifies the outcome.  A non-null \p Sink additionally observes every
+/// drained chunk as it arrives.
 ///
 /// Safe to call concurrently from several supervisor threads: fork() is
 /// serialized internally and each caller waits on its own pid only.
 ChildResult runSupervisedChild(const ChildLimits &Limits,
-                               const ChildPayload &Payload);
+                               const ChildPayload &Payload,
+                               const ChildOutputSink &Sink = nullptr);
 
 } // namespace intro
 

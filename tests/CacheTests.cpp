@@ -25,6 +25,7 @@
 #include "ir/Program.h"
 #include "supervise/Supervise.h"
 #include "support/Json.h"
+#include "support/Trace.h"
 #include "TestPrograms.h"
 
 #include <gtest/gtest.h>
@@ -459,6 +460,72 @@ TEST(ResultCache, EvictionEnforcesTheCapDeterministically) {
   cache::Fingerprint Kept = HexA < HexB ? B : A;
   EXPECT_FALSE(fs::exists(Cache.entryPath(Evicted)));
   EXPECT_TRUE(fs::exists(Cache.entryPath(Kept)));
+}
+
+// --- Store failure injection -------------------------------------------------
+//
+// store() must degrade to "no entry, counted failure, temp cleaned up" when
+// the filesystem refuses to cooperate.  Both injections work under root
+// (unlike chmod-based ones): a cache directory that is actually a regular
+// file, and a directory squatting on the final entry name so the
+// temp-to-final fs::rename fails.
+
+TEST(ResultCache, CacheDirectoryThatIsAFileFailsTheStoreNotTheProcess) {
+  TempDir Dir;
+  std::string NotADir = Dir.Path + "/cachefile";
+  std::ofstream(NotADir) << "occupied";
+  cache::ResultCache Cache({NotADir, 0});
+  cache::Fingerprint Fp{31, 41};
+
+  EXPECT_FALSE(Cache.store(Fp, samplePassA()));
+  EXPECT_EQ(Cache.stats().StoreFailures, 1u);
+  EXPECT_EQ(Cache.stats().Stores, 0u);
+
+  // Lookups against the unusable directory stay plain misses.
+  cache::CachedPassA Out;
+  EXPECT_FALSE(Cache.lookup(Fp, Out));
+  EXPECT_EQ(Cache.stats().CorruptEntries, 0u);
+}
+
+TEST(ResultCache, RenameFailureIsCountedTracedAndLeavesNoTempFile) {
+  TempDir Dir;
+  cache::ResultCache Cache({Dir.Path, 0});
+  cache::Fingerprint Fp{59, 26};
+  // A directory at the final entry path makes fs::rename(file, dir) fail
+  // with EISDIR after the temp file was written successfully.
+  ASSERT_TRUE(fs::create_directories(Cache.entryPath(Fp)));
+
+  trace::Recorder Rec;
+  Rec.start();
+  EXPECT_FALSE(Cache.store(Fp, samplePassA()));
+  Rec.stop();
+
+  cache::CacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.StoreFailures, 1u);
+  EXPECT_EQ(Stats.Stores, 0u);
+
+  // The failure leaves a trace instant naming the errno, so a run report
+  // can distinguish "rename refused" from "could not create the temp".
+  auto Instant = Rec.instants().find("cache.store_rename_failed");
+  ASSERT_NE(Instant, Rec.instants().end());
+  EXPECT_EQ(Instant->second.Count, 1u);
+  EXPECT_GT(Instant->second.Sum, 0u) << "instant should carry the errno";
+
+  // The orphaned temp file was removed: only the squatting directory
+  // remains in the cache directory.
+  size_t Remaining = 0;
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Dir.Path)) {
+    EXPECT_TRUE(Entry.is_directory())
+        << "leftover temp file: " << Entry.path();
+    ++Remaining;
+  }
+  EXPECT_EQ(Remaining, 1u);
+
+  // Removing the blockage restores normal service on the same instance.
+  fs::remove(Cache.entryPath(Fp));
+  EXPECT_TRUE(Cache.store(Fp, samplePassA()));
+  cache::CachedPassA Out;
+  EXPECT_TRUE(Cache.lookup(Fp, Out));
 }
 
 // --- Driver integration ------------------------------------------------------

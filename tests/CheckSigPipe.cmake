@@ -1,0 +1,48 @@
+# Regression test for the repo-wide SIGPIPE policy (support/Socket.h):
+# `intro_batch ... | head` must survive the consumer closing the pipe.
+# Before ignoreSigPipe() ran in the tool mains, the default disposition
+# killed the batch the moment its stdout reader went away — mid-batch, no
+# exit code, no report, no quarantine copy.  A dead *progress* consumer is
+# a clean stop; a *result* file must still be written.
+#
+# Run as: cmake -DINTRO_BATCH=<path> -DCORPUS=<input> -P CheckSigPipe.cmake
+
+if(NOT DEFINED INTRO_BATCH OR NOT DEFINED CORPUS)
+  message(FATAL_ERROR "pass -DINTRO_BATCH=<path> and -DCORPUS=<input>")
+endif()
+
+find_program(HEAD_TOOL head REQUIRED)
+
+# `head -c 0` exits without reading a byte, so every stdout write the batch
+# makes afterwards hits a closed pipe.  A SIGPIPE death surfaces in
+# RESULTS_VARIABLE as a signal description instead of the numeric "0".
+set(REPORT ${CMAKE_CURRENT_BINARY_DIR}/sigpipe_report.json)
+file(REMOVE ${REPORT})
+execute_process(
+  COMMAND ${INTRO_BATCH} --report=${REPORT} ${CORPUS}
+  COMMAND ${HEAD_TOOL} -c 0
+  RESULTS_VARIABLE CODES
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+
+list(GET CODES 0 BATCH_CODE)
+if(NOT BATCH_CODE STREQUAL "0")
+  message(SEND_ERROR
+    "intro_batch | head -c 0: expected clean exit 0, got '${BATCH_CODE}' "
+    "(a signal name here means the SIGPIPE policy regressed)\n"
+    "stderr: ${ERR}")
+endif()
+
+# The result channel is not the progress channel: the report file must have
+# been written in full even though stdout was gone.
+if(NOT EXISTS ${REPORT})
+  message(SEND_ERROR "report file was not written after the stdout EPIPE")
+else()
+  file(READ ${REPORT} REPORT_TEXT)
+  string(FIND "${REPORT_TEXT}" "intro-batch-report-v1" POS)
+  if(POS EQUAL -1)
+    message(SEND_ERROR "report file is missing its schema marker:\n"
+                       "${REPORT_TEXT}")
+  endif()
+endif()
+file(REMOVE ${REPORT})

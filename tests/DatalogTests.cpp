@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 using namespace intro::datalog;
 
 namespace {
@@ -197,4 +199,41 @@ TEST(Engine, SemiNaiveMatchesNaiveOnDiamond) {
   // left = all paths: 6+5+4+3+2+1 = 21.
   EXPECT_EQ(E.relation(Left).size(), 21u);
   EXPECT_EQ(E.relation(Right).size(), 21u);
+}
+
+TEST(IndexKeyHash, OldSchemeCollisionFamilyNowHashesDistinctly) {
+  // The retired `(RelationIndex << 8) ^ Mask` hash sent every key with
+  // Mask == RelationIndex << 8 to bucket 0: (1, 0x100), (2, 0x200), ...
+  // With one join index per indexed relation this was the *common* key
+  // shape, not a pathological one.  mixIndexKeyBits must spread the family.
+  auto Pack = [](uint32_t RelationIndex, uint32_t Mask) {
+    return (static_cast<uint64_t>(RelationIndex) << 32) | Mask;
+  };
+  std::set<uint64_t> Hashes;
+  constexpr uint32_t FamilySize = 24; // Masks fit in 32 bits up to rel 23.
+  for (uint32_t Rel = 1; Rel < FamilySize; ++Rel) {
+    uint32_t Mask = Rel << 8;
+    EXPECT_EQ((Rel << 8) ^ Mask, 0u) << "family member no longer collides "
+                                        "under the old scheme; fix the test";
+    Hashes.insert(mixIndexKeyBits(Pack(Rel, Mask)));
+  }
+  EXPECT_EQ(Hashes.size(), FamilySize - 1)
+      << "mixed hashes still collide within the old collision family";
+}
+
+TEST(IndexKeyHash, MixDependsOnEveryFieldAndIsDeterministic) {
+  // Same mask under different relations, and different masks under one
+  // relation, must produce distinct values; equal input, equal output.
+  auto Pack = [](uint32_t RelationIndex, uint32_t Mask) {
+    return (static_cast<uint64_t>(RelationIndex) << 32) | Mask;
+  };
+  EXPECT_EQ(mixIndexKeyBits(Pack(3, 5)), mixIndexKeyBits(Pack(3, 5)));
+  EXPECT_NE(mixIndexKeyBits(Pack(3, 5)), mixIndexKeyBits(Pack(4, 5)));
+  EXPECT_NE(mixIndexKeyBits(Pack(3, 5)), mixIndexKeyBits(Pack(3, 6)));
+  // Flipping any single input bit changes the output (full avalanche in
+  // the weak sense the index map needs).
+  uint64_t Base = mixIndexKeyBits(Pack(7, 0b1011));
+  for (int Bit = 0; Bit < 64; ++Bit)
+    EXPECT_NE(mixIndexKeyBits(Pack(7, 0b1011) ^ (1ull << Bit)), Base)
+        << "bit " << Bit;
 }

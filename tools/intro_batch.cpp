@@ -31,6 +31,14 @@
 ///   --chaos=SPEC@NAME    inject a process-level fault into job NAME;
 ///                        SPEC = crash|oom|spin|exit|garbage|truncate
 ///                        [:LEVEL][:UNTIL] (smoke tests; see ChaosPlan)
+///   --server=SOCK        client mode: submit the jobs to the intro_serve
+///                        daemon at Unix socket SOCK instead of forking
+///                        locally; --report then writes an
+///                        intro-serve-client-report-v1 document
+///   --job-reports=DIR    write each job's final intro-run-report-v1 line
+///                        to DIR/<name>.report.json (works in both local
+///                        and server mode; the deterministic sections are
+///                        byte-identical between the two)
 ///
 /// Exit codes (support/ExitCodes.h): 0 all jobs clean; 1 at least one job
 /// failed or was quarantined; 2 bad usage or unreadable inputs; 3 internal
@@ -38,13 +46,17 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "serve/Client.h"
 #include "supervise/Supervise.h"
 
 #include "support/ExitCodes.h"
 #include "support/Json.h"
 #include "support/Overflow.h"
 #include "support/ParseNum.h"
+#include "support/Socket.h"
 #include "support/TableWriter.h"
+
+#include <memory>
 
 #include <algorithm>
 #include <exception>
@@ -61,13 +73,23 @@ namespace fs = std::filesystem;
 
 namespace {
 
+/// One parsed --chaos flag.  SpecBody keeps the raw KIND[:LEVEL][:UNTIL]
+/// text because server mode forwards it verbatim for the daemon to parse.
+struct ChaosFlag {
+  std::string Name;
+  ChaosPlan Plan;
+  std::string SpecBody;
+};
+
 struct CliOptions {
   std::vector<std::string> Inputs;
   std::string ReportPath;
   std::string QuarantineDir;
+  std::string ServerSocket; ///< Nonempty: client mode against intro_serve.
+  std::string JobReportsDir;
   BatchOptions Batch;
   /// Chaos specs keyed by job name, applied after corpus discovery.
-  std::vector<std::pair<std::string, ChaosPlan>> Chaos;
+  std::vector<ChaosFlag> Chaos;
 };
 
 /// Parses `--flag=value`; \returns true and fills \p Value on a match.
@@ -79,55 +101,16 @@ bool flagValue(const std::string &Arg, const char *Flag, std::string &Value) {
   return true;
 }
 
-/// Parses a `--chaos=` SPEC@NAME payload.  \returns false on bad syntax.
-bool parseChaosSpec(const std::string &Spec,
-                    std::pair<std::string, ChaosPlan> &Out) {
+/// Parses a `--chaos=` SPEC@NAME payload; the SPEC body grammar lives in
+/// supervise::parseChaosPlan (shared with the serve protocol).
+bool parseChaosSpec(const std::string &Spec, ChaosFlag &Out) {
   size_t At = Spec.rfind('@');
   if (At == std::string::npos || At + 1 >= Spec.size())
     return false;
-  Out.first = Spec.substr(At + 1);
-  std::string Body = Spec.substr(0, At);
-
-  std::vector<std::string> Parts;
-  size_t Begin = 0;
-  while (Begin <= Body.size()) {
-    size_t Colon = Body.find(':', Begin);
-    size_t Stop = Colon == std::string::npos ? Body.size() : Colon;
-    Parts.push_back(Body.substr(Begin, Stop - Begin));
-    Begin = Stop + 1;
-    if (Colon == std::string::npos)
-      break;
-  }
-  if (Parts.empty() || Parts.size() > 3)
-    return false;
-
-  ChaosPlan &Plan = Out.second;
-  const std::string &Kind = Parts[0];
-  if (Kind == "crash")
-    Plan.Fault = ChaosPlan::Kind::Crash;
-  else if (Kind == "oom")
-    Plan.Fault = ChaosPlan::Kind::Oom;
-  else if (Kind == "spin")
-    Plan.Fault = ChaosPlan::Kind::Spin;
-  else if (Kind == "exit")
-    Plan.Fault = ChaosPlan::Kind::ExitNonzero;
-  else if (Kind == "garbage")
-    Plan.Fault = ChaosPlan::Kind::GarbageReport;
-  else if (Kind == "truncate")
-    Plan.Fault = ChaosPlan::Kind::TruncatedReport;
-  else
-    return false;
-  if (Parts.size() >= 2 && !Parts[1].empty() &&
-      !degradationLevelFromName(Parts[1], Plan.AtLevel))
-    return false;
-  if (Parts.size() == 3) {
-    std::string Error;
-    if (!parseU32("--chaos UNTIL", Parts[2], 1,
-                  std::numeric_limits<uint32_t>::max(), Plan.UntilAttempt,
-                  Error))
-      return false;
-  }
-  return true;
+  Out.Name = Spec.substr(At + 1);
+  Out.SpecBody = Spec.substr(0, At);
+  std::string Error;
+  return parseChaosPlan(Out.SpecBody, Out.Plan, Error);
 }
 
 /// Parses the command line.  \returns an exit code to bail with, or -1 to
@@ -141,7 +124,9 @@ int parseCli(int argc, char **argv, CliOptions &Cli) {
     std::string Value;
     if (flagValue(Arg, "--report", Cli.ReportPath) ||
         flagValue(Arg, "--quarantine", Cli.QuarantineDir) ||
-        flagValue(Arg, "--cache-dir", Cli.Batch.CacheDir))
+        flagValue(Arg, "--cache-dir", Cli.Batch.CacheDir) ||
+        flagValue(Arg, "--server", Cli.ServerSocket) ||
+        flagValue(Arg, "--job-reports", Cli.JobReportsDir))
       continue;
     if (flagValue(Arg, "--max-attempts", Value)) {
       if (!parseU32("--max-attempts", Value, 1, U32Max,
@@ -196,7 +181,7 @@ int parseCli(int argc, char **argv, CliOptions &Cli) {
       continue;
     }
     if (flagValue(Arg, "--chaos", Value)) {
-      std::pair<std::string, ChaosPlan> Spec;
+      ChaosFlag Spec;
       if (!parseChaosSpec(Value, Spec)) {
         std::cerr << "error: bad --chaos spec '" << Value
                   << "' (expected KIND[:LEVEL][:UNTIL]@NAME)\n";
@@ -305,9 +290,169 @@ bool quarantineInputs(const std::string &Dir, const std::vector<JobSpec> &Jobs,
   return true;
 }
 
+/// Writes one job's final report line (captured from the child transcript)
+/// to DIR/<name>.report.json.  \returns false on I/O failure.
+bool writeJobReports(const std::string &Dir,
+                     const std::vector<std::string> &Names,
+                     const std::vector<std::string> &Lines) {
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  if (Ec) {
+    std::cerr << "error: cannot create job-reports dir: " << Dir << "\n";
+    return false;
+  }
+  for (size_t Index = 0; Index < Names.size(); ++Index) {
+    if (Lines[Index].empty())
+      continue; // Hard death with no report line: nothing to write.
+    std::ofstream Out(fs::path(Dir) / (Names[Index] + ".report.json"));
+    Out << Lines[Index] << '\n';
+    if (!Out) {
+      std::cerr << "error: cannot write job report for " << Names[Index]
+                << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Client mode: submits every job to the intro_serve daemon at
+/// Cli.ServerSocket over one connection, sequentially, and renders the
+/// same summary table local mode prints.  The daemon's shared Pass-A cache
+/// makes resubmissions warm regardless of which client ran first.
+int runServerMode(const CliOptions &Cli, const std::vector<JobSpec> &Jobs) {
+  serve::Client Remote;
+  std::string Error;
+  if (!Remote.connect(Cli.ServerSocket, Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return ExitBadInput;
+  }
+
+  std::vector<serve::SubmitOutcome> Outcomes;
+  Outcomes.reserve(Jobs.size());
+  for (const JobSpec &Job : Jobs) {
+    // The parsed plan cannot cross the wire; resolve the raw spec body
+    // recorded at flag-parse time.
+    std::string ChaosBody;
+    for (const ChaosFlag &Flag : Cli.Chaos)
+      if (Flag.Name == Job.Name)
+        ChaosBody = Flag.SpecBody;
+    serve::SubmitOutcome Outcome;
+    if (!Remote.submit(Job.Name, Job.Source,
+                       Cli.Batch.Limits.WallDeadlineSeconds, ChaosBody,
+                       nullptr, Outcome, Error)) {
+      std::cerr << "error: submit of '" << Job.Name << "' failed: " << Error
+                << "\n";
+      return ExitInternalError;
+    }
+    Outcomes.push_back(std::move(Outcome));
+  }
+
+  TableWriter Table({"job", "class", "attempts", "result", "state"});
+  bool AnyFailed = false;
+  for (size_t Index = 0; Index < Jobs.size(); ++Index) {
+    const serve::SubmitOutcome &O = Outcomes[Index];
+    bool Clean = O.State == "done" && O.FinalClass == "clean";
+    AnyFailed |= !Clean;
+    Table.addRow({Jobs[Index].Name,
+                  O.FinalClass.empty() ? "-" : O.FinalClass,
+                  TableWriter::num(O.Attempts),
+                  Clean ? O.ResultLevel + "/" + O.ResultStatus
+                        : std::string("-"),
+                  O.State});
+  }
+  Table.print(std::cout);
+
+  if (!Cli.ReportPath.empty()) {
+    std::ofstream Out(Cli.ReportPath);
+    if (!Out) {
+      std::cerr << "error: cannot write report: " << Cli.ReportPath << "\n";
+      return ExitInternalError;
+    }
+    JsonWriter J(Out);
+    J.beginObject();
+    J.key("schema");
+    J.value("intro-serve-client-report-v1");
+    J.key("server");
+    J.value(Cli.ServerSocket);
+    cache::CacheStats Totals;
+    J.key("jobs");
+    J.beginArray();
+    for (size_t Index = 0; Index < Jobs.size(); ++Index) {
+      const serve::SubmitOutcome &O = Outcomes[Index];
+      J.beginObject();
+      J.key("name");
+      J.value(Jobs[Index].Name);
+      J.key("job");
+      J.value(O.JobId);
+      J.key("state");
+      J.value(O.State);
+      J.key("final_class");
+      J.value(O.FinalClass);
+      J.key("attempts");
+      J.value(O.Attempts);
+      J.key("quarantined");
+      J.value(O.Quarantined);
+      J.key("cache");
+      if (O.CacheEnabled) {
+        Totals.Probes += O.Cache.Probes;
+        Totals.Hits += O.Cache.Hits;
+        Totals.Misses += O.Cache.Misses;
+        Totals.Stores += O.Cache.Stores;
+        Totals.StoreFailures += O.Cache.StoreFailures;
+        Totals.Evictions += O.Cache.Evictions;
+        J.beginObject();
+        J.key("probes");
+        J.value(O.Cache.Probes);
+        J.key("hits");
+        J.value(O.Cache.Hits);
+        J.key("misses");
+        J.value(O.Cache.Misses);
+        J.key("stores");
+        J.value(O.Cache.Stores);
+        J.endObject();
+      } else {
+        J.null();
+      }
+      J.endObject();
+    }
+    J.endArray();
+    J.key("cache_totals");
+    J.beginObject();
+    J.key("probes");
+    J.value(Totals.Probes);
+    J.key("hits");
+    J.value(Totals.Hits);
+    J.key("misses");
+    J.value(Totals.Misses);
+    J.key("stores");
+    J.value(Totals.Stores);
+    J.endObject();
+    J.endObject();
+    Out << '\n';
+    std::cout << "\nclient report: " << Cli.ReportPath << "\n";
+  }
+
+  if (!Cli.JobReportsDir.empty()) {
+    std::vector<std::string> Names;
+    std::vector<std::string> Lines;
+    for (size_t Index = 0; Index < Jobs.size(); ++Index) {
+      Names.push_back(Jobs[Index].Name);
+      Lines.push_back(Outcomes[Index].FinalReportLine);
+    }
+    if (!writeJobReports(Cli.JobReportsDir, Names, Lines))
+      return ExitInternalError;
+  }
+
+  return AnyFailed ? ExitAnalysisFailure : ExitSuccess;
+}
+
 } // namespace
 
 int main(int argc, char **argv) try {
+  // `intro_batch ... | head` must end with EPIPE-aware writes, not a
+  // silent SIGPIPE death mid-batch (support/Socket.h policy).
+  ignoreSigPipe();
+
   CliOptions Cli;
   Cli.Batch.Limits.WallDeadlineSeconds = 60;
   if (int Code = parseCli(argc, argv, Cli); Code >= 0)
@@ -317,20 +462,56 @@ int main(int argc, char **argv) try {
   if (int Code = collectJobs(Cli, Jobs); Code >= 0)
     return Code;
 
-  for (const auto &[Name, Plan] : Cli.Chaos) {
+  for (const ChaosFlag &Flag : Cli.Chaos) {
     bool Found = false;
     for (JobSpec &Job : Jobs)
-      if (Job.Name == Name) {
-        Job.Chaos = Plan;
+      if (Job.Name == Flag.Name) {
+        Job.Chaos = Flag.Plan;
         Found = true;
       }
     if (!Found) {
-      std::cerr << "error: --chaos target '" << Name << "' is not a job\n";
+      std::cerr << "error: --chaos target '" << Flag.Name
+                << "' is not a job\n";
       return ExitBadInput;
     }
   }
 
-  BatchResult Batch = runSupervisedBatch(Jobs, Cli.Batch);
+  if (!Cli.ServerSocket.empty())
+    return runServerMode(Cli, Jobs);
+
+  // Per-job capture of the final report line for --job-reports.  Each job
+  // index owns its own slots, so pool threads never contend.
+  std::vector<std::string> FinalLines(Jobs.size());
+  std::function<JobHooks(size_t)> HookFactory;
+  if (!Cli.JobReportsDir.empty()) {
+    auto Buffers = std::make_shared<std::vector<std::string>>(Jobs.size());
+    HookFactory = [&FinalLines, Buffers](size_t Index) {
+      JobHooks Hooks;
+      Hooks.OnChildOutput = [&FinalLines, Buffers,
+                             Index](uint32_t, std::string_view Chunk) {
+        std::string &Buffer = (*Buffers)[Index];
+        Buffer.append(Chunk);
+        size_t Newline;
+        while ((Newline = Buffer.find('\n')) != std::string::npos) {
+          std::string Line = Buffer.substr(0, Newline);
+          Buffer.erase(0, Newline + 1);
+          if (Line.find("\"schema\"") != std::string::npos)
+            FinalLines[Index] = std::move(Line);
+        }
+      };
+      return Hooks;
+    };
+  }
+
+  BatchResult Batch = runSupervisedBatch(Jobs, Cli.Batch, HookFactory);
+
+  if (!Cli.JobReportsDir.empty()) {
+    std::vector<std::string> Names;
+    for (const JobSpec &Job : Jobs)
+      Names.push_back(Job.Name);
+    if (!writeJobReports(Cli.JobReportsDir, Names, FinalLines))
+      return ExitInternalError;
+  }
 
   TableWriter Table({"job", "class", "attempts", "result", "quarantined"});
   for (const JobResult &Job : Batch.Jobs) {
