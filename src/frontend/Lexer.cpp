@@ -94,6 +94,7 @@ std::vector<Token> intro::tokenize(std::string_view Source) {
         continue;
       }
       Emit(TokenKind::Error, Source.substr(Pos, 1));
+      Emit(TokenKind::EndOfFile);
       return Tokens;
     case '-':
       if (Pos + 1 < Source.size() && Source[Pos + 1] == '>') {
@@ -102,9 +103,11 @@ std::vector<Token> intro::tokenize(std::string_view Source) {
         continue;
       }
       Emit(TokenKind::Error, Source.substr(Pos, 1));
+      Emit(TokenKind::EndOfFile);
       return Tokens;
     default:
       Emit(TokenKind::Error, Source.substr(Pos, 1));
+      Emit(TokenKind::EndOfFile);
       return Tokens;
     }
   }

@@ -45,8 +45,9 @@ struct Token {
   uint32_t Line;         ///< 1-based source line.
 };
 
-/// Tokenizes \p Source.  The final token is always EndOfFile (or Error at
-/// the offending position).  Views point into \p Source.
+/// Tokenizes \p Source.  The final token is always EndOfFile, even after an
+/// Error token — parser loops keyed on EndOfFile must always terminate.
+/// Views point into \p Source.
 std::vector<Token> tokenize(std::string_view Source);
 
 } // namespace intro

@@ -160,8 +160,14 @@ private:
     }
     // Record the body's token span; statements contain no nested braces.
     Method.BodyBegin = Pos;
-    while (!at(TokenKind::RBrace) && !at(TokenKind::EndOfFile))
+    while (!at(TokenKind::RBrace) && !at(TokenKind::EndOfFile)) {
+      if (at(TokenKind::Error)) {
+        error("unexpected character '" + std::string(peek().Text) +
+              "' in method " + Method.Name);
+        return;
+      }
       advance();
+    }
     Method.BodyEnd = Pos;
     if (!eat(TokenKind::RBrace)) {
       error("expected '}' closing method " + Method.Name);

@@ -1,0 +1,361 @@
+//===- fuzz/Campaign.cpp - Deterministic fuzzing campaigns ----------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include "frontend/Printer.h"
+#include "fuzz/Mutator.h"
+#include "support/Json.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace intro;
+using namespace intro::fuzz;
+
+namespace {
+
+/// The reducer predicate for one finding: does the candidate still trip
+/// the same oracle?  Only that oracle runs, so reduction cost scales with
+/// the cheapest check that reproduces the bug, not the whole harness.
+ReducePredicate predicateFor(OracleKind Kind, const OracleOptions &Base) {
+  OracleOptions Sub = Base;
+  Sub.Oracles = OracleSet();
+  Sub.Oracles.enable(Kind);
+  return [Sub, Kind](const Program &Candidate) {
+    OracleOutcome Outcome = checkProgram(Candidate, Sub);
+    for (const Finding &F : Outcome.Findings)
+      if (F.Oracle == Kind)
+        return true;
+    return false;
+  };
+}
+
+bool isMutantFinding(const Finding &F) {
+  return F.Policy.rfind("mutant-", 0) == 0;
+}
+
+/// Oracle-checks \p Prog (already parsed) and, on a finding, reduces it and
+/// fills the repro fields.  Shared by generated seeds and corpus replay.
+void checkAndReduce(const Program &Prog, const CampaignOptions &Options,
+                    SeedReport &Report, const std::string &MutantSource) {
+  OracleOutcome Outcome = checkProgram(Prog, Options.Oracles);
+  Report.ChecksRun += Outcome.ChecksRun;
+  Report.ChecksSkipped += Outcome.ChecksSkipped;
+  for (Finding &F : Outcome.Findings)
+    Report.Findings.push_back(std::move(F));
+  if (Report.Findings.empty())
+    return;
+
+  const Finding &First = Report.Findings.front();
+  if (isMutantFinding(First)) {
+    // A mutant round-trip failure: the repro is the mutant bytes verbatim
+    // (they are not a reducible program — most mutants barely parse).
+    Report.Reduction.Source = MutantSource;
+    Report.Reduction.Statements = 0;
+    return;
+  }
+  if (!Options.Reduce) {
+    Report.Reduction.Source = printProgram(Prog);
+    Report.Reduction.Statements = countStatements(Prog);
+    return;
+  }
+  ReducerOptions RO;
+  RO.MaxChecks = Options.ReduceMaxChecks;
+  Report.Reduction =
+      reduceProgram(Prog, predicateFor(First.Oracle, Options.Oracles), RO);
+  Report.Reduced = true;
+}
+
+/// Writes the quarantine-style artifact triple for a failing seed:
+/// `<name>.ir` (minimized repro), `<name>.triage.json`, `<name>.reason.txt`.
+void writeArtifacts(SeedReport &Report, const CampaignOptions &Options,
+                    const std::string &Name) {
+  if (Options.ReproDir.empty() || Report.Findings.empty())
+    return;
+  std::error_code Ignored;
+  std::filesystem::create_directories(Options.ReproDir, Ignored);
+  Report.ReproName = Name;
+  std::string Stem = Options.ReproDir + "/" + Name;
+  {
+    std::ofstream Out(Stem + ".ir", std::ios::binary);
+    Out << Report.Reduction.Source;
+  }
+  {
+    const Finding &First = Report.Findings.front();
+    std::ofstream Out(Stem + ".reason.txt", std::ios::binary);
+    Out << oracleKindName(First.Oracle) << ": " << First.Detail << "\n";
+  }
+  {
+    std::ofstream Out(Stem + ".triage.json", std::ios::binary);
+    JsonWriter J(Out);
+    J.beginObject();
+    J.key("schema");
+    J.value("intro-fuzz-triage-v1");
+    J.key("name");
+    J.value(Name);
+    J.key("seed");
+    J.value(Report.Seed);
+    J.key("bias");
+    J.value(fuzzBiasName(Report.Bias));
+    J.key("planted_bug");
+    J.value(plantedBugName(Options.Oracles.Bug));
+    J.key("findings");
+    J.beginArray();
+    for (const Finding &F : Report.Findings) {
+      J.beginObject();
+      J.key("oracle");
+      J.value(oracleKindName(F.Oracle));
+      J.key("policy");
+      J.value(F.Policy);
+      J.key("detail");
+      J.value(F.Detail);
+      J.endObject();
+    }
+    J.endArray();
+    J.key("reduced");
+    J.beginObject();
+    J.key("ran");
+    J.value(Report.Reduced);
+    J.key("statements");
+    J.value(Report.Reduction.Statements);
+    J.key("removed_units");
+    J.value(Report.Reduction.RemovedUnits);
+    J.key("checks");
+    J.value(Report.Reduction.Checks);
+    J.key("predicate_holds");
+    J.value(Report.Reduction.PredicateHolds);
+    J.endObject();
+    J.endObject();
+    Out << "\n";
+  }
+}
+
+SeedReport runSeed(uint64_t Seed, const CampaignOptions &Options) {
+  SeedReport Report;
+  Report.Seed = Seed;
+  Report.Bias = biasForSeed(Seed);
+  Program Prog = generateFuzzProgram(Seed, Report.Bias, Options.Program);
+
+  std::string MutantSource;
+  checkAndReduce(Prog, Options, Report, MutantSource);
+
+  // Byte-level frontend mutants of this seed's canonical text.  A crash
+  // here takes the process down — which is exactly the signal the ASan CI
+  // lane exists to catch; a surviving parse that breaks the round-trip
+  // fixpoint is a finding like any other.
+  if (Options.MutationsPerSeed > 0) {
+    std::string Text = printProgram(Prog);
+    for (uint32_t Index = 0; Index < Options.MutationsPerSeed; ++Index) {
+      std::string Mutant = mutateBytes(Seed * 1000003ULL + Index, Text);
+      ++Report.MutantsChecked;
+      RoundTripOutcome RT = roundTripCheck(Mutant);
+      if (!RT.ok()) {
+        if (Report.Findings.empty()) {
+          Report.Reduction.Source = Mutant;
+          Report.Reduction.Statements = 0;
+        }
+        Report.Findings.push_back({OracleKind::RoundTrip,
+                                   "mutant-" + std::to_string(Index),
+                                   RT.Detail});
+      }
+    }
+  }
+
+  writeArtifacts(Report, Options,
+                 "seed" + std::to_string(Seed) + "-" +
+                     oracleKindName(Report.Findings.empty()
+                                        ? OracleKind::Validity
+                                        : Report.Findings.front().Oracle));
+  return Report;
+}
+
+} // namespace
+
+SeedReport intro::fuzz::replayProgram(const Program &Prog,
+                                      const std::string &Name,
+                                      const CampaignOptions &Options) {
+  SeedReport Report;
+  std::string MutantSource;
+  checkAndReduce(Prog, Options, Report, MutantSource);
+  if (!Report.Findings.empty())
+    writeArtifacts(Report, Options,
+                   Name + "-" +
+                       oracleKindName(Report.Findings.front().Oracle));
+  return Report;
+}
+
+CampaignOutcome intro::fuzz::runCampaign(const CampaignOptions &Options) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start = Clock::now();
+  Clock::time_point Deadline =
+      Start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(Options.BudgetSeconds));
+
+  CampaignOutcome Outcome;
+  Outcome.SeedsPlanned = Options.Count;
+  std::vector<SeedReport> Slots(Options.Count);
+  std::vector<std::atomic<bool>> Done(Options.Count);
+
+  // Workers claim the next seed index *after* the deadline check, so the
+  // started seeds are always the contiguous prefix [Seed, Seed+started):
+  // a claimed seed always runs to completion, the budget only stops new
+  // claims.  Per-seed work is self-contained, so results are independent
+  // of the worker count.
+  std::atomic<uint64_t> Next{0};
+  std::atomic<bool> BudgetHit{false};
+  auto Worker = [&] {
+    while (true) {
+      if (Options.BudgetSeconds > 0 && Clock::now() >= Deadline) {
+        BudgetHit.store(true, std::memory_order_relaxed);
+        return;
+      }
+      uint64_t Index = Next.fetch_add(1, std::memory_order_relaxed);
+      if (Index >= Options.Count)
+        return;
+      Slots[Index] = runSeed(Options.Seed + Index, Options);
+      Done[Index].store(true, std::memory_order_release);
+    }
+  };
+
+  if (Options.Workers <= 1) {
+    Worker();
+  } else {
+    ThreadPool Pool(Options.Workers);
+    std::vector<std::future<void>> Futures;
+    for (unsigned Index = 0; Index < Options.Workers; ++Index)
+      Futures.push_back(Pool.submit(Worker));
+    for (std::future<void> &F : Futures)
+      F.get();
+  }
+
+  for (uint64_t Index = 0; Index < Options.Count; ++Index) {
+    if (!Done[Index].load(std::memory_order_acquire))
+      break;
+    SeedReport &Report = Slots[Index];
+    Outcome.TotalFindings += Report.Findings.size();
+    Outcome.ChecksRun += Report.ChecksRun;
+    Outcome.ChecksSkipped += Report.ChecksSkipped;
+    Outcome.MutantsChecked += Report.MutantsChecked;
+    Outcome.Seeds.push_back(std::move(Report));
+  }
+  Outcome.SeedsStarted = Outcome.Seeds.size();
+  Outcome.BudgetExhausted =
+      BudgetHit.load(std::memory_order_relaxed) &&
+      Outcome.SeedsStarted < Outcome.SeedsPlanned;
+  Outcome.Seconds =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+  return Outcome;
+}
+
+void intro::fuzz::writeCampaignReportJson(std::ostream &Out,
+                                          const CampaignOptions &Options,
+                                          const CampaignOutcome &Outcome) {
+  JsonWriter J(Out);
+  J.beginObject();
+  J.key("schema");
+  J.value("intro-fuzz-report-v1");
+
+  // Deterministic bytes: config echo and the failing seeds.  Byte-identical
+  // across runs and worker counts for a fixed (seed, count, options); a
+  // wall-clock budget can only shorten the *coverage* section below.
+  J.key("deterministic");
+  J.beginObject();
+  J.key("config");
+  J.beginObject();
+  J.key("seed");
+  J.value(Options.Seed);
+  J.key("count");
+  J.value(Options.Count);
+  J.key("oracle_mask");
+  J.value(static_cast<uint64_t>(Options.Oracles.Oracles.Mask));
+  J.key("thorough");
+  J.value(Options.Oracles.Thorough);
+  J.key("max_tuples");
+  J.value(Options.Oracles.MaxTuples);
+  J.key("planted_bug");
+  J.value(plantedBugName(Options.Oracles.Bug));
+  J.key("mutations_per_seed");
+  J.value(Options.MutationsPerSeed);
+  J.key("reduce");
+  J.value(Options.Reduce);
+  J.endObject();
+  J.key("findings");
+  J.beginArray();
+  for (const SeedReport &Seed : Outcome.Seeds) {
+    if (Seed.Findings.empty())
+      continue;
+    J.beginObject();
+    J.key("seed");
+    J.value(Seed.Seed);
+    J.key("bias");
+    J.value(fuzzBiasName(Seed.Bias));
+    J.key("repro");
+    J.value(Seed.ReproName);
+    J.key("findings");
+    J.beginArray();
+    for (const Finding &F : Seed.Findings) {
+      J.beginObject();
+      J.key("oracle");
+      J.value(oracleKindName(F.Oracle));
+      J.key("policy");
+      J.value(F.Policy);
+      J.key("detail");
+      J.value(F.Detail);
+      J.endObject();
+    }
+    J.endArray();
+    J.key("reduced");
+    J.beginObject();
+    J.key("ran");
+    J.value(Seed.Reduced);
+    J.key("statements");
+    J.value(Seed.Reduction.Statements);
+    J.key("removed_units");
+    J.value(Seed.Reduction.RemovedUnits);
+    J.key("checks");
+    J.value(Seed.Reduction.Checks);
+    J.key("predicate_holds");
+    J.value(Seed.Reduction.PredicateHolds);
+    J.endObject();
+    J.endObject();
+  }
+  J.endArray();
+  J.key("finding_count");
+  J.value(Outcome.TotalFindings);
+  J.key("clean");
+  J.value(Outcome.clean());
+  J.endObject();
+
+  // Coverage: how much of the range ran.  Budget-dependent by design.
+  J.key("coverage");
+  J.beginObject();
+  J.key("seeds_planned");
+  J.value(Outcome.SeedsPlanned);
+  J.key("seeds_started");
+  J.value(Outcome.SeedsStarted);
+  J.key("budget_exhausted");
+  J.value(Outcome.BudgetExhausted);
+  J.key("checks_run");
+  J.value(Outcome.ChecksRun);
+  J.key("checks_skipped");
+  J.value(Outcome.ChecksSkipped);
+  J.key("mutants_checked");
+  J.value(Outcome.MutantsChecked);
+  J.endObject();
+
+  J.key("timing");
+  J.beginObject();
+  J.key("seconds");
+  J.value(Outcome.Seconds);
+  J.endObject();
+  J.endObject();
+  Out << "\n";
+}

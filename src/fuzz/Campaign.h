@@ -1,0 +1,110 @@
+//===- fuzz/Campaign.h - Deterministic fuzzing campaigns --------*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign driver behind tools/intro_fuzz: sweep a contiguous seed
+/// range, generate one biased program per seed (fuzz/Generator.h), run the
+/// differential oracles on it (fuzz/Oracles.h), optionally byte-mutate its
+/// text through the frontend (fuzz/Mutator.h), reduce the first finding per
+/// seed (fuzz/Reducer.h), and file repro + triage artifacts in the
+/// quarantine style (`<name>.ir` + `<name>.triage.json` + `<name>.reason.txt`).
+///
+/// Determinism contract: per-seed results depend only on (seed, options) —
+/// never on worker count or timing.  Workers claim seed indices from an
+/// atomic counter, so the set of seeds *started* is always a contiguous
+/// prefix of the range; the wall-clock budget only decides where that
+/// prefix ends (recorded in the report's coverage section, outside the
+/// deterministic bytes).  Without a budget, the whole range runs and the
+/// report's deterministic section is byte-identical across runs and worker
+/// counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUZZ_CAMPAIGN_H
+#define FUZZ_CAMPAIGN_H
+
+#include "fuzz/Generator.h"
+#include "fuzz/Oracles.h"
+#include "fuzz/Reducer.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace intro::fuzz {
+
+struct CampaignOptions {
+  uint64_t Seed = 1;    ///< First seed of the range.
+  uint64_t Count = 100; ///< Number of seeds ([Seed, Seed+Count)).
+  unsigned Workers = 1; ///< Concurrent seed tasks.
+  /// Stop *launching* new seeds after this many seconds (in-flight seeds
+  /// finish).  0 disables the budget.
+  double BudgetSeconds = 0;
+  /// Shrink the first finding of each failing seed with the reducer.
+  bool Reduce = true;
+  /// Reducer check budget per finding (each check re-runs an oracle).
+  uint32_t ReduceMaxChecks = 600;
+  /// Directory for repro/triage artifacts; empty writes nothing.
+  std::string ReproDir;
+  /// Byte-level frontend mutants checked per seed (0 disables).
+  uint32_t MutationsPerSeed = 0;
+  OracleOptions Oracles;
+  FuzzProgramOptions Program;
+};
+
+/// The per-seed verdict.  Everything here is deterministic in
+/// (seed, options).
+struct SeedReport {
+  uint64_t Seed = 0;
+  FuzzBias Bias = FuzzBias::Uniform;
+  std::vector<Finding> Findings;
+  uint32_t ChecksRun = 0;
+  uint32_t ChecksSkipped = 0;
+  uint32_t MutantsChecked = 0;
+  /// Reduction of the first finding (when Reduce and the seed failed).
+  bool Reduced = false;
+  ReduceOutcome Reduction;
+  /// Artifact basename under ReproDir ("" when none was written).
+  std::string ReproName;
+};
+
+struct CampaignOutcome {
+  /// One report per started seed, ascending — always a contiguous prefix
+  /// of the requested range.
+  std::vector<SeedReport> Seeds;
+  uint64_t SeedsPlanned = 0;
+  uint64_t SeedsStarted = 0;
+  uint64_t TotalFindings = 0;
+  uint64_t ChecksRun = 0;
+  uint64_t ChecksSkipped = 0;
+  uint64_t MutantsChecked = 0;
+  bool BudgetExhausted = false; ///< The budget cut the range short.
+  double Seconds = 0;           ///< Wall clock (timing section only).
+
+  bool clean() const { return TotalFindings == 0; }
+};
+
+/// Runs the campaign.  Thread-safe per the determinism contract above.
+CampaignOutcome runCampaign(const CampaignOptions &Options);
+
+/// Runs the oracles on one already-parsed program (corpus replay).  When
+/// \p Reduce is set and a finding appears, it is reduced like a generated
+/// seed's would be.  \p Name labels artifacts and report rows.
+SeedReport replayProgram(const Program &Prog, const std::string &Name,
+                         const CampaignOptions &Options);
+
+/// Writes the `intro-fuzz-report-v1` document: a "deterministic" section
+/// (config echo + per-seed findings + reductions), a "coverage" section
+/// (how much of the range actually ran — budget-dependent), and a "timing"
+/// section (wall clock).
+void writeCampaignReportJson(std::ostream &Out,
+                             const CampaignOptions &Options,
+                             const CampaignOutcome &Outcome);
+
+} // namespace intro::fuzz
+
+#endif // FUZZ_CAMPAIGN_H

@@ -1,0 +1,79 @@
+//===- fuzz/Mutator.cpp - Frontend round-trip mutation fuzzing ------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Mutator.h"
+
+#include "frontend/Parser.h"
+#include "frontend/Printer.h"
+#include "support/Rng.h"
+
+using namespace intro;
+using namespace intro::fuzz;
+
+std::string intro::fuzz::mutateBytes(uint64_t Seed, const std::string &Input) {
+  // Mix the input length into the stream so equal seeds on different inputs
+  // do not replay the same edit script at the same offsets.
+  Rng R(Seed ^ (0x9e3779b97f4a7c15ULL * (Input.size() + 1)));
+  std::string Out = Input;
+  uint32_t Edits = 1 + R.below(4);
+  for (uint32_t Edit = 0; Edit < Edits; ++Edit) {
+    if (Out.empty()) {
+      Out.push_back(static_cast<char>(R.below(256)));
+      continue;
+    }
+    uint32_t Size = static_cast<uint32_t>(Out.size());
+    switch (R.below(5)) {
+    case 0: { // Flip one byte to an arbitrary value.
+      Out[R.below(Size)] = static_cast<char>(R.below(256));
+      break;
+    }
+    case 1: { // Insert an arbitrary byte.
+      Out.insert(Out.begin() + R.below(Size + 1),
+                 static_cast<char>(R.below(256)));
+      break;
+    }
+    case 2: { // Delete one byte.
+      Out.erase(Out.begin() + R.below(Size));
+      break;
+    }
+    case 3: { // Duplicate a short span somewhere else.
+      uint32_t From = R.below(Size);
+      uint32_t Len = 1 + R.below(16);
+      if (From + Len > Size)
+        Len = Size - From;
+      std::string Span = Out.substr(From, Len);
+      Out.insert(R.below(static_cast<uint32_t>(Out.size()) + 1), Span);
+      break;
+    }
+    case 4: { // Truncate at a random point.
+      Out.resize(R.below(Size + 1));
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+RoundTripOutcome intro::fuzz::roundTripCheck(const std::string &Source) {
+  RoundTripOutcome Out;
+  ParseResult First = parseProgram(Source);
+  if (!First.ok())
+    return Out; // Diagnosed, not crashed: contract satisfied.
+  Out.Parsed = true;
+  std::string Printed = printProgram(First.Prog);
+  ParseResult Second = parseProgram(Printed);
+  if (!Second.ok()) {
+    Out.Detail = "printed form fails to re-parse: " + Second.Errors.front();
+    return Out;
+  }
+  std::string Reprinted = printProgram(Second.Prog);
+  if (Reprinted != Printed) {
+    Out.Detail = "print/parse not a one-step fixpoint";
+    return Out;
+  }
+  Out.Fixpoint = true;
+  return Out;
+}

@@ -1,0 +1,55 @@
+//===- fuzz/Mutator.h - Frontend round-trip mutation fuzzing ----*- C++ -*-===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-level mutation fuzzing of the textual-IR frontend.  Two contracts
+/// are checked:
+///
+///  - **Never crash:** parseProgram on arbitrary bytes must return (with
+///    diagnostics), never abort or corrupt memory.  Mutated inputs need not
+///    parse — most will not — they only need to be *diagnosed*.
+///
+///  - **Round-trip fixpoint:** for any input that parses cleanly,
+///    print(parse(S)) must itself parse cleanly and reach a fixpoint in one
+///    step: print(parse(print(parse(S)))) == print(parse(S)).  This is the
+///    canonical-form contract the reducer and cache fingerprints rely on.
+///
+/// Mutations are deterministic in (Seed, Input): a fixed menu of byte edits
+/// (flip, insert, delete, duplicate-span, truncate) driven by support/Rng.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUZZ_MUTATOR_H
+#define FUZZ_MUTATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace intro::fuzz {
+
+/// Applies 1–4 random byte-level edits to \p Input.  Deterministic in
+/// (Seed, Input).  The result may be arbitrarily malformed.
+std::string mutateBytes(uint64_t Seed, const std::string &Input);
+
+/// Outcome of one round-trip check (see roundTripCheck).
+struct RoundTripOutcome {
+  bool Parsed = false;     ///< Original input parsed cleanly.
+  bool Fixpoint = false;   ///< print∘parse reached a one-step fixpoint.
+  std::string Detail;      ///< Human-readable failure description (empty on
+                           ///< success or clean parse failure).
+
+  /// A clean parse *failure* is fine (the contract is diagnose-don't-crash);
+  /// a parse success that fails to round-trip is a finding.
+  bool ok() const { return !Parsed || Fixpoint; }
+};
+
+/// Checks the round-trip fixpoint contract on \p Source.  Does not throw on
+/// malformed input.
+RoundTripOutcome roundTripCheck(const std::string &Source);
+
+} // namespace intro::fuzz
+
+#endif // FUZZ_MUTATOR_H

@@ -1,0 +1,707 @@
+//===- fuzz/Oracles.cpp - Differential oracle harness ---------------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracles.h"
+
+#include "analysis/ContextPolicy.h"
+#include "analysis/DatalogReference.h"
+#include "analysis/Solver.h"
+#include "cache/Fingerprint.h"
+#include "cache/ResultCache.h"
+#include "frontend/Printer.h"
+#include "fuzz/Mutator.h"
+#include "introspect/Driver.h"
+#include "introspect/Resilient.h"
+#include "ir/Interpreter.h"
+#include "ir/Program.h"
+#include "ir/Validator.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "support/SetUtils.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace intro;
+using namespace intro::fuzz;
+
+const char *intro::fuzz::oracleKindName(OracleKind Kind) {
+  switch (Kind) {
+  case OracleKind::Validity:
+    return "validity";
+  case OracleKind::RoundTrip:
+    return "round-trip";
+  case OracleKind::Soundness:
+    return "soundness";
+  case OracleKind::ReferenceEquivalence:
+    return "reference-equivalence";
+  case OracleKind::IntrospectiveSubset:
+    return "introspective-subset";
+  case OracleKind::CacheWarmColdParity:
+    return "cache-parity";
+  case OracleKind::PortfolioParity:
+    return "portfolio-parity";
+  case OracleKind::ServedLocalParity:
+    return "served-parity";
+  }
+  return "unknown";
+}
+
+bool intro::fuzz::oracleKindFromName(std::string_view Name, OracleKind &Kind) {
+  for (size_t Index = 0; Index < NumOracleKinds; ++Index) {
+    OracleKind Candidate = static_cast<OracleKind>(Index);
+    if (Name == oracleKindName(Candidate)) {
+      Kind = Candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+OracleSet OracleSet::defaults() {
+  OracleSet Set;
+  Set.enable(OracleKind::Validity)
+      .enable(OracleKind::RoundTrip)
+      .enable(OracleKind::Soundness)
+      .enable(OracleKind::ReferenceEquivalence)
+      .enable(OracleKind::IntrospectiveSubset)
+      .enable(OracleKind::CacheWarmColdParity)
+      .enable(OracleKind::PortfolioParity);
+  return Set;
+}
+
+OracleSet OracleSet::all() {
+  return defaults().enable(OracleKind::ServedLocalParity);
+}
+
+const char *intro::fuzz::plantedBugName(PlantedBug Bug) {
+  switch (Bug) {
+  case PlantedBug::None:
+    return "none";
+  case PlantedBug::DropMaxHeapPerVar:
+    return "drop-max-heap";
+  case PlantedBug::DropMaxCallTarget:
+    return "drop-max-call-target";
+  case PlantedBug::ForgetThrows:
+    return "forget-throws";
+  }
+  return "unknown";
+}
+
+bool intro::fuzz::plantedBugFromName(std::string_view Name, PlantedBug &Bug) {
+  static constexpr PlantedBug All[] = {
+      PlantedBug::None, PlantedBug::DropMaxHeapPerVar,
+      PlantedBug::DropMaxCallTarget, PlantedBug::ForgetThrows};
+  for (PlantedBug Candidate : All)
+    if (Name == plantedBugName(Candidate)) {
+      Bug = Candidate;
+      return true;
+    }
+  return false;
+}
+
+void intro::fuzz::applyPlantedBug(PlantedBug Bug, PointsToResult &Result) {
+  switch (Bug) {
+  case PlantedBug::None:
+    return;
+  case PlantedBug::DropMaxHeapPerVar: {
+    // Losing the last-propagated object from every multi-object set is the
+    // shape of a real delta-propagation bug: single-source flows still
+    // look right, joins silently lose facts.
+    std::vector<std::pair<uint32_t, uint32_t>> Dropped;
+    for (uint32_t Var = 0; Var < Result.VarHeaps.size(); ++Var) {
+      SortedIdSet &Set = Result.VarHeaps[Var];
+      if (Set.size() < 2)
+        continue;
+      Dropped.emplace_back(Var, Set.back());
+      Set.pop_back();
+    }
+    auto WasDropped = [&](uint32_t Var, uint32_t Heap) {
+      return std::binary_search(Dropped.begin(), Dropped.end(),
+                                std::make_pair(Var, Heap));
+    };
+    Result.VarPointsTo.erase(
+        std::remove_if(Result.VarPointsTo.begin(), Result.VarPointsTo.end(),
+                       [&](const std::array<uint32_t, 4> &Tuple) {
+                         return WasDropped(Tuple[0], Tuple[2]);
+                       }),
+        Result.VarPointsTo.end());
+    return;
+  }
+  case PlantedBug::DropMaxCallTarget: {
+    std::vector<std::pair<uint32_t, uint32_t>> Dropped;
+    for (uint32_t Site = 0; Site < Result.SiteTargets.size(); ++Site) {
+      SortedIdSet &Set = Result.SiteTargets[Site];
+      if (Set.size() < 2)
+        continue;
+      Dropped.emplace_back(Site, Set.back());
+      Set.pop_back();
+    }
+    auto WasDropped = [&](uint32_t Site, uint32_t Target) {
+      return std::binary_search(Dropped.begin(), Dropped.end(),
+                                std::make_pair(Site, Target));
+    };
+    Result.CallGraph.erase(
+        std::remove_if(Result.CallGraph.begin(), Result.CallGraph.end(),
+                       [&](const std::array<uint32_t, 4> &Tuple) {
+                         return WasDropped(Tuple[0], Tuple[2]);
+                       }),
+        Result.CallGraph.end());
+    return;
+  }
+  case PlantedBug::ForgetThrows:
+    for (SortedIdSet &Set : Result.MethodThrows)
+      Set.clear();
+    Result.ThrowPointsTo.clear();
+    return;
+  }
+}
+
+namespace {
+
+/// State threaded through one checkProgram call.
+struct Harness {
+  const Program &Prog;
+  const OracleOptions &Opt;
+  OracleOutcome Out;
+
+  Harness(const Program &Prog, const OracleOptions &Opt)
+      : Prog(Prog), Opt(Opt) {}
+
+  void finding(OracleKind Oracle, std::string Policy, std::string Detail) {
+    Out.Findings.push_back({Oracle, std::move(Policy), std::move(Detail)});
+  }
+
+  /// The solver-under-test: the production solver plus the planted bug.
+  PointsToResult solveUnderTest(const ContextPolicy &Policy,
+                                ContextTable &Table,
+                                const SolverOptions &Options) {
+    PointsToResult Result = solvePointsTo(Prog, Policy, Table, Options);
+    applyPlantedBug(Opt.Bug, Result);
+    return Result;
+  }
+
+  SolverOptions cappedOptions(bool KeepTuples = false) const {
+    SolverOptions Options;
+    Options.Budget.MaxTuples = Opt.MaxTuples;
+    Options.KeepTuples = KeepTuples;
+    return Options;
+  }
+
+  SolveBudget cappedBudget() const {
+    SolveBudget Budget;
+    Budget.MaxTuples = Opt.MaxTuples;
+    return Budget;
+  }
+
+  /// The flavors the per-policy oracles sweep.
+  std::vector<std::unique_ptr<ContextPolicy>> flavors() const {
+    std::vector<std::unique_ptr<ContextPolicy>> Policies;
+    Policies.push_back(makeInsensitivePolicy());
+    Policies.push_back(makeObjectPolicy(Prog, 2, 1));
+    if (Opt.Thorough) {
+      Policies.push_back(makeCallSitePolicy(2, 1));
+      Policies.push_back(makeTypePolicy(Prog, 2, 1));
+    }
+    return Policies;
+  }
+
+  bool checkValidity();
+  void checkRoundTrip();
+  void checkSoundness();
+  void checkReferenceEquivalence();
+  void checkIntrospectiveSubset();
+  void checkCacheParity();
+  void checkPortfolioParity();
+  void checkServedParity();
+};
+
+/// Compares the context-insensitive projections of two results; \returns an
+/// empty string when identical, else a description of the first divergence.
+std::string describeResultDiff(const PointsToResult &A,
+                               const PointsToResult &B) {
+  if (A.Status != B.Status)
+    return std::string("status ") + statusName(A.Status) + " vs " +
+           statusName(B.Status);
+  if (A.VarHeaps != B.VarHeaps)
+    return "per-variable points-to sets differ";
+  if (A.SiteTargets != B.SiteTargets)
+    return "per-site call targets differ";
+  if (A.MethodReachable != B.MethodReachable)
+    return "reachable-method sets differ";
+  if (A.MethodThrows != B.MethodThrows)
+    return "escaping-exception sets differ";
+  auto MapEqual = [](const auto &X, const auto &Y) {
+    if (X.size() != Y.size())
+      return false;
+    for (const auto &[Key, Value] : X) {
+      auto It = Y.find(Key);
+      if (It == Y.end() || It->second != Value)
+        return false;
+    }
+    return true;
+  };
+  if (!MapEqual(A.FieldHeaps, B.FieldHeaps))
+    return "field points-to sets differ";
+  if (!MapEqual(A.StaticFieldHeaps, B.StaticFieldHeaps))
+    return "static-field points-to sets differ";
+  return "";
+}
+
+bool Harness::checkValidity() {
+  if (!Opt.Oracles.has(OracleKind::Validity))
+    return true;
+  ++Out.ChecksRun;
+  std::vector<std::string> Errors = validateProgram(Prog);
+  if (Errors.empty())
+    return true;
+  std::string Detail = Errors.front();
+  if (Errors.size() > 1)
+    Detail += " (and " + std::to_string(Errors.size() - 1) + " more)";
+  finding(OracleKind::Validity, "", std::move(Detail));
+  return false;
+}
+
+void Harness::checkRoundTrip() {
+  if (!Opt.Oracles.has(OracleKind::RoundTrip))
+    return;
+  ++Out.ChecksRun;
+  RoundTripOutcome RT = roundTripCheck(printProgram(Prog));
+  if (!RT.Parsed) {
+    finding(OracleKind::RoundTrip, "", "printed program fails to parse");
+    return;
+  }
+  if (!RT.ok())
+    finding(OracleKind::RoundTrip, "", RT.Detail);
+}
+
+void Harness::checkSoundness() {
+  if (!Opt.Oracles.has(OracleKind::Soundness))
+    return;
+  DynamicFacts Facts = interpret(Prog);
+  for (auto &Policy : flavors()) {
+    ContextTable Table;
+    PointsToResult Result = solveUnderTest(*Policy, Table, cappedOptions());
+    if (!isCompleted(Result.Status)) {
+      ++Out.ChecksSkipped;
+      continue;
+    }
+    ++Out.ChecksRun;
+    std::string First;
+    uint64_t Violations = 0;
+    auto Violation = [&](std::string Description) {
+      if (First.empty())
+        First = std::move(Description);
+      ++Violations;
+    };
+    for (auto [Var, Heap] : Facts.VarPointsTo)
+      if (!setContains(Result.pointsTo(Var), Heap.index()))
+        Violation("dynamic fact lost: " + std::string(Prog.varName(Var)) +
+                  " -> " + std::string(Prog.heapName(Heap)));
+    for (MethodId Method : Facts.ReachedMethods)
+      if (!Result.isReachable(Method))
+        Violation("executed method unreachable: " +
+                  std::string(Prog.methodName(Method)));
+    for (auto [Site, Target] : Facts.CallEdges)
+      if (!setContains(Result.callTargets(Site), Target.index()))
+        Violation("dispatched edge lost: " + std::string(Prog.siteName(Site)) +
+                  " -> " + std::string(Prog.methodName(Target)));
+    for (auto [Field, Heap] : Facts.StaticFieldPointsTo) {
+      auto It = Result.StaticFieldHeaps.find(Field.index());
+      if (It == Result.StaticFieldHeaps.end() ||
+          !setContains(It->second, Heap.index()))
+        Violation("static-field fact lost: " +
+                  std::string(Prog.fieldName(Field)) + " -> " +
+                  std::string(Prog.heapName(Heap)));
+    }
+    for (auto [Method, Heap] : Facts.MethodThrows)
+      if (!setContains(Result.throwsOf(Method), Heap.index()))
+        Violation("escaping exception lost: " +
+                  std::string(Prog.methodName(Method)) + " throws " +
+                  std::string(Prog.heapName(Heap)));
+    if (Violations > 0) {
+      if (Violations > 1)
+        First += " (and " + std::to_string(Violations - 1) + " more)";
+      finding(OracleKind::Soundness, Policy->name(), std::move(First));
+    }
+  }
+}
+
+/// Compares one tuple relation; \returns empty when equal, else a count
+/// summary.  \p SolverTuples is sorted in place.
+template <size_t N>
+std::string compareRelation(const char *Relation,
+                            std::vector<std::array<uint32_t, N>> SolverTuples,
+                            const std::vector<std::array<uint32_t, N>> &Ref) {
+  std::sort(SolverTuples.begin(), SolverTuples.end());
+  if (SolverTuples == Ref)
+    return "";
+  std::ostringstream S;
+  S << Relation << ": solver " << SolverTuples.size() << " tuples, reference "
+    << Ref.size();
+  // Name the first asymmetric tuple to anchor triage.
+  std::vector<std::array<uint32_t, N>> Diff;
+  std::set_symmetric_difference(SolverTuples.begin(), SolverTuples.end(),
+                                Ref.begin(), Ref.end(),
+                                std::back_inserter(Diff));
+  if (!Diff.empty()) {
+    S << "; first diff (";
+    for (size_t Index = 0; Index < N; ++Index)
+      S << (Index ? "," : "") << Diff.front()[Index];
+    S << ")";
+  }
+  return S.str();
+}
+
+void Harness::checkReferenceEquivalence() {
+  if (!Opt.Oracles.has(OracleKind::ReferenceEquivalence))
+    return;
+
+  DatalogReferenceOptions RefOptions;
+  RefOptions.MaxTuples = Opt.MaxTuples * 8;
+
+  auto Compare = [&](const ContextPolicy &Policy, std::string FlavorName,
+                     bool FilterCasts) {
+    ContextTable Table;
+    SolverOptions Options = cappedOptions(/*KeepTuples=*/true);
+    Options.FilterCasts = FilterCasts;
+    PointsToResult Solver = solveUnderTest(Policy, Table, Options);
+    if (!isCompleted(Solver.Status)) {
+      ++Out.ChecksSkipped;
+      return;
+    }
+    DatalogReferenceOptions RO = RefOptions;
+    RO.FilterCasts = FilterCasts;
+    DatalogReferenceResult Ref = runDatalogReference(Prog, Policy, Table, RO);
+    if (Ref.BudgetExceeded) {
+      ++Out.ChecksSkipped;
+      return;
+    }
+    ++Out.ChecksRun;
+    for (std::string Diff :
+         {compareRelation("VARPOINTSTO", Solver.VarPointsTo, Ref.VarPointsTo),
+          compareRelation("FLDPOINTSTO", Solver.FieldPointsTo,
+                          Ref.FieldPointsTo),
+          compareRelation("REACHABLE", Solver.Reachable, Ref.Reachable),
+          compareRelation("CALLGRAPH", Solver.CallGraph, Ref.CallGraph),
+          compareRelation("THROWPOINTSTO", Solver.ThrowPointsTo,
+                          Ref.ThrowPointsTo),
+          compareRelation("SFLDPOINTSTO", Solver.StaticFieldPointsTo,
+                          Ref.StaticFieldPointsTo)}) {
+      if (!Diff.empty()) {
+        finding(OracleKind::ReferenceEquivalence, FlavorName, std::move(Diff));
+        return; // One finding per flavor keeps triage records bounded.
+      }
+    }
+  };
+
+  for (auto &Policy : flavors())
+    Compare(*Policy, Policy->name(), /*FilterCasts=*/false);
+  if (Opt.Thorough) {
+    // Checked-cast semantics: the solver's filtered rule against the
+    // reference's SUBTYPE-filtered rule.
+    auto Insens = makeInsensitivePolicy();
+    Compare(*Insens, std::string(Insens->name()) + "+filter-casts",
+            /*FilterCasts=*/true);
+
+    // The introspective split, with exceptions derived structurally from
+    // the program (deterministic, no RNG): every third heap and every
+    // (even site, target) pair stays coarse.
+    auto Coarse = makeInsensitivePolicy();
+    auto Refined = makeObjectPolicy(Prog, 2, 1);
+    RefinementExceptions Exceptions;
+    for (uint32_t Heap = 0; Heap < Prog.numHeaps(); Heap += 3)
+      Exceptions.NoRefineHeaps.insert(Heap);
+    {
+      ContextTable Probe;
+      PointsToResult Insens =
+          solvePointsTo(Prog, *Coarse, Probe, cappedOptions());
+      if (!isCompleted(Insens.Status)) {
+        ++Out.ChecksSkipped;
+        return;
+      }
+      for (uint32_t Site = 0; Site < Prog.numSites(); Site += 2)
+        for (uint32_t Target : Insens.callTargets(SiteId(Site)))
+          Exceptions.NoRefineSites.insert(
+              RefinementExceptions::packSite(SiteId(Site), MethodId(Target)));
+    }
+    auto Intro =
+        makeIntrospectivePolicy("fuzz-intro", *Coarse, *Refined, Exceptions);
+    ContextTable Table;
+    PointsToResult Solver =
+        solveUnderTest(*Intro, Table, cappedOptions(/*KeepTuples=*/true));
+    if (!isCompleted(Solver.Status)) {
+      ++Out.ChecksSkipped;
+      return;
+    }
+    DatalogReferenceResult Ref = runDatalogReference(
+        Prog, *Coarse, *Refined, Exceptions, Table, RefOptions);
+    if (Ref.BudgetExceeded) {
+      ++Out.ChecksSkipped;
+      return;
+    }
+    ++Out.ChecksRun;
+    for (std::string Diff :
+         {compareRelation("VARPOINTSTO", Solver.VarPointsTo, Ref.VarPointsTo),
+          compareRelation("FLDPOINTSTO", Solver.FieldPointsTo,
+                          Ref.FieldPointsTo),
+          compareRelation("REACHABLE", Solver.Reachable, Ref.Reachable),
+          compareRelation("CALLGRAPH", Solver.CallGraph, Ref.CallGraph)}) {
+      if (!Diff.empty()) {
+        finding(OracleKind::ReferenceEquivalence, "introspective-split",
+                std::move(Diff));
+        break;
+      }
+    }
+  }
+}
+
+void Harness::checkIntrospectiveSubset() {
+  if (!Opt.Oracles.has(OracleKind::IntrospectiveSubset))
+    return;
+  IntrospectiveOptions Options;
+  Options.FirstPassBudget = cappedBudget();
+  Options.SecondPassBudget = cappedBudget();
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  IntrospectiveOutcome Outcome = runIntrospective(Prog, *Refined, Options);
+  if (!isCompleted(Outcome.FirstPass.Status) ||
+      !isCompleted(Outcome.SecondPass.Status)) {
+    ++Out.ChecksSkipped;
+    return;
+  }
+  ++Out.ChecksRun;
+  std::string First;
+  uint64_t Violations = 0;
+  auto Violation = [&](std::string Description) {
+    if (First.empty())
+      First = std::move(Description);
+    ++Violations;
+  };
+  for (uint32_t Var = 0; Var < Prog.numVars(); ++Var)
+    for (uint32_t Heap : Outcome.SecondPass.pointsTo(VarId(Var)))
+      if (!setContains(Outcome.FirstPass.pointsTo(VarId(Var)), Heap))
+        Violation("refined points-to not a subset at " +
+                  std::string(Prog.varName(VarId(Var))));
+  for (uint32_t Site = 0; Site < Prog.numSites(); ++Site)
+    for (uint32_t Target : Outcome.SecondPass.callTargets(SiteId(Site)))
+      if (!setContains(Outcome.FirstPass.callTargets(SiteId(Site)), Target))
+        Violation("refined call targets not a subset at " +
+                  std::string(Prog.siteName(SiteId(Site))));
+  for (uint32_t Method = 0; Method < Prog.numMethods(); ++Method)
+    if (Outcome.SecondPass.isReachable(MethodId(Method)) &&
+        !Outcome.FirstPass.isReachable(MethodId(Method)))
+      Violation("refined reachability not a subset at " +
+                std::string(Prog.methodName(MethodId(Method))));
+  if (Violations > 0) {
+    if (Violations > 1)
+      First += " (and " + std::to_string(Violations - 1) + " more)";
+    finding(OracleKind::IntrospectiveSubset, "2objH-IntroA", std::move(First));
+  }
+}
+
+void Harness::checkCacheParity() {
+  if (!Opt.Oracles.has(OracleKind::CacheWarmColdParity))
+    return;
+  if (Opt.CacheDir.empty()) {
+    ++Out.ChecksSkipped;
+    return;
+  }
+  cache::ResultCache Cache({Opt.CacheDir, /*MaxEntries=*/0});
+  cache::Fingerprint Fp = cache::fingerprintProgram(Prog);
+  IntrospectiveOptions Options;
+  Options.FirstPassBudget = cappedBudget();
+  Options.SecondPassBudget = cappedBudget();
+  Options.Cache = &Cache;
+  Options.CacheKey = &Fp;
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  IntrospectiveOutcome Cold = runIntrospective(Prog, *Refined, Options);
+  if (!isCompleted(Cold.FirstPass.Status)) {
+    ++Out.ChecksSkipped; // Nothing stored; warm run would just re-miss.
+    return;
+  }
+  IntrospectiveOutcome Warm = runIntrospective(Prog, *Refined, Options);
+  if (Cache.stats().Hits == 0) {
+    // The cold pass completed but nothing was served back: the cache
+    // contract (completed miss is stored, stored entry hits) is broken.
+    finding(OracleKind::CacheWarmColdParity, "pass-a",
+            "completed first pass was not served back on the warm run");
+    return;
+  }
+  ++Out.ChecksRun;
+  if (std::string Diff =
+          describeResultDiff(Cold.FirstPass, Warm.FirstPass);
+      !Diff.empty()) {
+    finding(OracleKind::CacheWarmColdParity, "pass-a", "warm != cold: " + Diff);
+    return;
+  }
+  if (std::string Diff =
+          describeResultDiff(Cold.SecondPass, Warm.SecondPass);
+      !Diff.empty())
+    finding(OracleKind::CacheWarmColdParity, "pass-b", "warm != cold: " + Diff);
+}
+
+void Harness::checkPortfolioParity() {
+  if (!Opt.Oracles.has(OracleKind::PortfolioParity))
+    return;
+  ResilientOptions Options;
+  Options.DeepBudget = cappedBudget();
+  Options.RefinedBudget = cappedBudget();
+  Options.FirstPassBudget = cappedBudget();
+  auto Refined = makeObjectPolicy(Prog, 2, 1);
+  ResilientOutcome Sequential = runResilient(Prog, *Refined, Options);
+  Options.Portfolio = true;
+  Options.Workers = 2;
+  ResilientOutcome Racing = runResilient(Prog, *Refined, Options);
+  ++Out.ChecksRun;
+  if (Sequential.Level != Racing.Level) {
+    finding(OracleKind::PortfolioParity, "ladder",
+            std::string("winning rung differs: sequential ") +
+                degradationLevelName(Sequential.Level) + " vs portfolio " +
+                degradationLevelName(Racing.Level));
+    return;
+  }
+  if (std::string Diff = describeResultDiff(Sequential.Result, Racing.Result);
+      !Diff.empty())
+    finding(OracleKind::PortfolioParity,
+            degradationLevelName(Sequential.Level),
+            "portfolio != sequential: " + Diff);
+}
+
+/// The run report's deterministic section as raw bytes (the ServeTests
+/// contract): everything from the "deterministic" key up to the "timing"
+/// key, with the per-attempt wall-clock values pinned.
+std::string deterministicSlice(const std::string &ReportLine) {
+  size_t Begin = ReportLine.find("\"deterministic\"");
+  size_t End = ReportLine.find("\"timing\"");
+  if (Begin == std::string::npos || End == std::string::npos || End < Begin)
+    return ReportLine;
+  std::string Slice = ReportLine.substr(Begin, End - Begin);
+  for (const char *Key :
+       {"\"seconds\":", "\"total_seconds\":", "\"metric_seconds\":"}) {
+    size_t KeyLen = std::strlen(Key);
+    for (size_t At = Slice.find(Key); At != std::string::npos;
+         At = Slice.find(Key, At)) {
+      size_t ValueBegin = At + KeyLen;
+      size_t ValueEnd = ValueBegin;
+      while (ValueEnd < Slice.size() && Slice[ValueEnd] != ',' &&
+             Slice[ValueEnd] != '}')
+        ++ValueEnd;
+      Slice.replace(ValueBegin, ValueEnd - ValueBegin, "0");
+      At = ValueBegin;
+    }
+  }
+  return Slice;
+}
+
+void Harness::checkServedParity() {
+  if (!Opt.Oracles.has(OracleKind::ServedLocalParity))
+    return;
+  if (Opt.ScratchDir.empty()) {
+    ++Out.ChecksSkipped;
+    return;
+  }
+  static std::atomic<uint64_t> SocketSeq{0};
+  std::string Socket = Opt.ScratchDir + "/fz" + std::to_string(::getpid()) +
+                       "-" + std::to_string(SocketSeq.fetch_add(1)) + ".sock";
+  std::string Source = printProgram(Prog);
+
+  serve::ServerOptions Options;
+  Options.SocketPath = Socket;
+  Options.Batch.Limits.WallDeadlineSeconds = 60;
+  Options.Batch.SleepMs = [](double) {};
+  Options.Workers = 1;
+  serve::Server Daemon(std::move(Options));
+  std::string Error;
+  if (!Daemon.start(Error)) {
+    ++Out.ChecksSkipped;
+    return;
+  }
+  std::atomic<bool> Stop{false};
+  std::thread Runner([&] { Daemon.run(Stop); });
+
+  serve::SubmitOutcome Served;
+  bool Submitted = false;
+  {
+    serve::Client Client;
+    if (Client.connect(Socket, Error))
+      Submitted =
+          Client.submit("fuzz", Source, 0, "", nullptr, Served, Error);
+  }
+  Stop.store(true);
+  Runner.join();
+  if (!Submitted) {
+    ++Out.ChecksSkipped;
+    return;
+  }
+
+  supervise::JobSpec Spec;
+  Spec.Name = "fuzz";
+  Spec.Source = Source;
+  std::string Transcript;
+  supervise::JobHooks Hooks;
+  Hooks.OnChildOutput = [&](uint32_t, std::string_view Chunk) {
+    Transcript.append(Chunk);
+  };
+  supervise::BatchOptions Batch;
+  Batch.Limits.WallDeadlineSeconds = 60;
+  Batch.SleepMs = [](double) {};
+  supervise::JobResult Local =
+      supervise::runSupervisedJob(Spec, /*JobIndex=*/0, Batch, Hooks);
+
+  const char *LocalClass = supervise::jobOutcomeClassName(Local.FinalClass);
+  if (Served.FinalClass != LocalClass) {
+    finding(OracleKind::ServedLocalParity, "class",
+            "served job classified '" + Served.FinalClass + "' vs local '" +
+                LocalClass + "'");
+    return;
+  }
+  if (Served.FinalClass != "clean" || Served.FinalReportLine.empty()) {
+    ++Out.ChecksSkipped; // A hard child death is the supervisor's business.
+    return;
+  }
+  std::string LocalReport;
+  size_t Begin = 0;
+  while (Begin < Transcript.size()) {
+    size_t End = Transcript.find('\n', Begin);
+    if (End == std::string::npos)
+      End = Transcript.size();
+    std::string Line = Transcript.substr(Begin, End - Begin);
+    if (Line.find("\"schema\"") != std::string::npos)
+      LocalReport = Line;
+    Begin = End + 1;
+  }
+  if (LocalReport.empty()) {
+    ++Out.ChecksSkipped;
+    return;
+  }
+  ++Out.ChecksRun;
+  if (deterministicSlice(Served.FinalReportLine) !=
+      deterministicSlice(LocalReport))
+    finding(OracleKind::ServedLocalParity, "report",
+            "deterministic report sections differ between served and local");
+}
+
+} // namespace
+
+OracleOutcome intro::fuzz::checkProgram(const Program &Prog,
+                                        const OracleOptions &Options) {
+  Harness H(Prog, Options);
+  if (!H.checkValidity())
+    return std::move(H.Out);
+  H.checkRoundTrip();
+  H.checkSoundness();
+  H.checkReferenceEquivalence();
+  H.checkIntrospectiveSubset();
+  H.checkCacheParity();
+  H.checkPortfolioParity();
+  H.checkServedParity();
+  return std::move(H.Out);
+}

@@ -1,0 +1,230 @@
+//===- fuzz/Reducer.cpp - Delta-debugging test-case reducer ---------------===//
+//
+// Part of the introspective-analysis project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include "frontend/Parser.h"
+#include "frontend/Printer.h"
+#include "ir/Program.h"
+#include "ir/Validator.h"
+
+#include <string_view>
+#include <vector>
+
+using namespace intro;
+using namespace intro::fuzz;
+
+namespace {
+
+/// One removable region: a half-open line range.
+struct Unit {
+  size_t Begin;
+  size_t End;
+};
+
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  size_t Begin = 0;
+  while (Begin < Text.size()) {
+    size_t End = Text.find('\n', Begin);
+    if (End == std::string::npos)
+      End = Text.size();
+    Lines.push_back(Text.substr(Begin, End - Begin));
+    Begin = End + 1;
+  }
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &Line : Lines) {
+    Out += Line;
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool startsWith(const std::string &Line, std::string_view Prefix) {
+  return Line.size() >= Prefix.size() &&
+         std::string_view(Line).substr(0, Prefix.size()) == Prefix;
+}
+
+bool isStatementLine(const std::string &Line) {
+  return startsWith(Line, "    ");
+}
+
+bool isMethodHeader(const std::string &Line) {
+  if (!startsWith(Line, "  ") || isStatementLine(Line))
+    return false;
+  std::string_view View(Line);
+  return (View.find("method ") != std::string_view::npos) &&
+         View.size() >= 1 && View.back() == '{';
+}
+
+/// The removable units of one granularity, in line order.  Relies on the
+/// printer's canonical layout: classes at column 0 (block closed by a bare
+/// "}"), methods at two spaces (closed by "  }"), statements at four.
+enum class Granularity { Class, Method, Statement };
+
+std::vector<Unit> collectUnits(const std::vector<std::string> &Lines,
+                               Granularity G) {
+  std::vector<Unit> Units;
+  for (size_t Index = 0; Index < Lines.size(); ++Index) {
+    const std::string &Line = Lines[Index];
+    switch (G) {
+    case Granularity::Class:
+      if (startsWith(Line, "class ")) {
+        size_t End = Index + 1;
+        if (!Line.empty() && Line.back() == '{') {
+          while (End < Lines.size() && Lines[End] != "}")
+            ++End;
+          if (End < Lines.size())
+            ++End; // Include the closing brace.
+        }
+        Units.push_back({Index, End});
+        Index = End - 1;
+      }
+      break;
+    case Granularity::Method:
+      if (isMethodHeader(Line)) {
+        size_t End = Index + 1;
+        while (End < Lines.size() && Lines[End] != "  }")
+          ++End;
+        if (End < Lines.size())
+          ++End;
+        Units.push_back({Index, End});
+        Index = End - 1;
+      }
+      break;
+    case Granularity::Statement:
+      if (isStatementLine(Line))
+        Units.push_back({Index, Index + 1});
+      break;
+    }
+  }
+  return Units;
+}
+
+/// \p Lines minus the units in [\p First, \p Last) of \p Units.
+std::vector<std::string> withoutUnits(const std::vector<std::string> &Lines,
+                                      const std::vector<Unit> &Units,
+                                      size_t First, size_t Last) {
+  std::vector<bool> Removed(Lines.size(), false);
+  for (size_t UnitIndex = First; UnitIndex < Last; ++UnitIndex)
+    for (size_t Line = Units[UnitIndex].Begin; Line < Units[UnitIndex].End;
+         ++Line)
+      Removed[Line] = true;
+  std::vector<std::string> Out;
+  Out.reserve(Lines.size());
+  for (size_t Line = 0; Line < Lines.size(); ++Line)
+    if (!Removed[Line])
+      Out.push_back(Lines[Line]);
+  return Out;
+}
+
+struct Reduction {
+  const ReducePredicate &StillFails;
+  const ReducerOptions &Opt;
+  uint32_t Checks = 0;
+  uint32_t RemovedUnits = 0;
+
+  bool budgetLeft() const { return Checks < Opt.MaxChecks; }
+
+  /// Parse + validate + predicate gate on a candidate text.
+  bool candidateFails(const std::string &Text) {
+    ++Checks;
+    ParseResult Parsed = parseProgram(Text);
+    if (!Parsed.ok())
+      return false;
+    if (!validateProgram(Parsed.Prog).empty())
+      return false;
+    return StillFails(Parsed.Prog);
+  }
+
+  /// One ddmin sweep at granularity \p G: chunk sizes from all units down
+  /// to one.  \returns true if anything was removed.
+  bool sweep(std::vector<std::string> &Lines, Granularity G) {
+    bool Progress = false;
+    bool Retry = true;
+    while (Retry && budgetLeft()) {
+      Retry = false;
+      std::vector<Unit> Units = collectUnits(Lines, G);
+      if (Units.empty())
+        return Progress;
+      for (size_t Chunk = Units.size(); Chunk >= 1; Chunk /= 2) {
+        bool RemovedAtThisSize = false;
+        for (size_t First = 0; First < Units.size() && budgetLeft();
+             First += Chunk) {
+          size_t Last = std::min(First + Chunk, Units.size());
+          std::vector<std::string> Candidate =
+              withoutUnits(Lines, Units, First, Last);
+          if (candidateFails(joinLines(Candidate))) {
+            Lines = std::move(Candidate);
+            RemovedUnits += static_cast<uint32_t>(Last - First);
+            Progress = true;
+            RemovedAtThisSize = true;
+            // Unit indexing is stale now; rebuild and re-run this sweep.
+            Retry = true;
+            break;
+          }
+        }
+        if (RemovedAtThisSize || Chunk == 1)
+          break;
+      }
+    }
+    return Progress;
+  }
+};
+
+} // namespace
+
+uint64_t intro::fuzz::countStatements(const Program &Prog) {
+  uint64_t Total = 0;
+  for (uint32_t Method = 0; Method < Prog.numMethods(); ++Method)
+    Total += Prog.method(MethodId(Method)).Body.size();
+  return Total;
+}
+
+ReduceOutcome intro::fuzz::reduceProgram(const Program &Prog,
+                                         const ReducePredicate &StillFails,
+                                         const ReducerOptions &Options) {
+  ReduceOutcome Out;
+  Out.Source = printProgram(Prog);
+  Out.Statements = countStatements(Prog);
+
+  Reduction R{StillFails, Options};
+  // The contract gate: the unreduced program must fail.  (Uses the same
+  // parse path as every candidate so a print/parse bug cannot masquerade
+  // as a flaky predicate.)
+  if (!R.candidateFails(Out.Source)) {
+    Out.Checks = R.Checks;
+    return Out;
+  }
+
+  std::vector<std::string> Lines = splitLines(Out.Source);
+  // Coarse to fine; repeat while any pass makes progress (dropping a class
+  // can unblock statement removals and vice versa).
+  bool Progress = true;
+  while (Progress && R.budgetLeft()) {
+    Progress = false;
+    Progress |= R.sweep(Lines, Granularity::Class);
+    Progress |= R.sweep(Lines, Granularity::Method);
+    Progress |= R.sweep(Lines, Granularity::Statement);
+  }
+
+  // Canonicalize through one final print∘parse so the emitted repro is in
+  // printer-normal form (and recount the statements from the real IR).
+  std::string Reduced = joinLines(Lines);
+  ParseResult Final = parseProgram(Reduced);
+  if (Final.ok()) {
+    Out.Source = printProgram(Final.Prog);
+    Out.Statements = countStatements(Final.Prog);
+    Out.PredicateHolds = StillFails(Final.Prog);
+  }
+  Out.Checks = R.Checks;
+  Out.RemovedUnits = R.RemovedUnits;
+  return Out;
+}

@@ -55,9 +55,14 @@ TEST(Lexer, ArrowAndDollarNames) {
   EXPECT_EQ(Tokens[5].Text, "$ret");
 }
 
-TEST(Lexer, ErrorToken) {
+TEST(Lexer, ErrorTokenIsAlwaysFollowedByEndOfFile) {
+  // The stream must end with EndOfFile even after an Error token: parser
+  // loops keyed on EndOfFile would otherwise spin forever (the hang the
+  // first mutation-fuzz campaign found).
   auto Tokens = tokenize("foo @");
-  EXPECT_EQ(Tokens.back().Kind, TokenKind::Error);
+  ASSERT_GE(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[Tokens.size() - 2].Kind, TokenKind::Error);
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::EndOfFile);
 }
 
 namespace {

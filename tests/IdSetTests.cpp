@@ -314,6 +314,69 @@ TEST(IdSet, DenseApproxBytesStaysWithinVectorFactor) {
   EXPECT_LE(Set.approxBytes(), 2 * 48 * sizeof(uint32_t));
 }
 
+TEST(IdSet, DefaultThresholdBoundary47_48_49) {
+  // The default-threshold promotion boundary, pinned element by element:
+  // 47 consecutive handles stay a sorted vector, the 48th insert promotes
+  // (density 48 elements in one word span is ample), the 49th extends the
+  // bitmap.  Contents and order must be identical across the flip.
+  static_assert(IdSet::DefaultPromoteThreshold == 48,
+                "boundary test tracks the default threshold");
+  IdSet Set; // Default threshold.
+  std::vector<uint32_t> Expected;
+  for (uint32_t Value = 0; Value < 47; ++Value) {
+    EXPECT_TRUE(Set.insert(Value));
+    Expected.push_back(Value);
+  }
+  EXPECT_FALSE(Set.isDense());
+  EXPECT_EQ(Set.size(), 47u);
+  EXPECT_EQ(contents(Set), Expected);
+
+  EXPECT_TRUE(Set.insert(47));
+  Expected.push_back(47);
+  EXPECT_TRUE(Set.isDense());
+  EXPECT_EQ(Set.size(), 48u);
+  EXPECT_EQ(contents(Set), Expected);
+
+  EXPECT_TRUE(Set.insert(48));
+  Expected.push_back(48);
+  EXPECT_TRUE(Set.isDense());
+  EXPECT_EQ(Set.size(), 49u);
+  EXPECT_EQ(contents(Set), Expected);
+
+  // Duplicates at and around the boundary never double-count.
+  EXPECT_FALSE(Set.insert(47));
+  EXPECT_FALSE(Set.insert(48));
+  EXPECT_EQ(Set.size(), 49u);
+  std::vector<uint32_t> Iterated(Set.begin(), Set.end());
+  EXPECT_EQ(Iterated, Expected);
+}
+
+TEST(IdSet, UnionDeltaAcrossDefaultThresholdBoundary) {
+  // A batched union that lands the set exactly on, then one past, the
+  // default promotion boundary: deltas must stay exact while the
+  // representation flips mid-sequence.
+  IdSet Set;
+  SortedIdSet First47, Delta;
+  for (uint32_t Value = 0; Value < 47; ++Value)
+    First47.push_back(Value);
+  EXPECT_EQ(Set.unionWithDelta(First47, Delta), 47u);
+  EXPECT_EQ(Delta, First47);
+  EXPECT_FALSE(Set.isDense());
+
+  Delta.clear();
+  EXPECT_EQ(Set.unionWithDelta(SortedIdSet{46, 47}, Delta), 1u);
+  EXPECT_EQ(Delta, SortedIdSet{47});
+  EXPECT_EQ(Set.size(), 48u);
+
+  Delta.clear();
+  EXPECT_EQ(Set.unionWithDelta(SortedIdSet{48}, Delta), 1u);
+  EXPECT_EQ(Delta, SortedIdSet{48});
+  EXPECT_EQ(Set.size(), 49u);
+  for (uint32_t Value = 0; Value < 49; ++Value)
+    EXPECT_TRUE(Set.contains(Value));
+  EXPECT_FALSE(Set.contains(49));
+}
+
 TEST(IdSet, RandomOpInterleavingsMatchStdSetModel) {
   // Property test: arbitrary interleavings of insert / unionWithDelta /
   // clear across random thresholds must track a std::set model exactly,
